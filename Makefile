@@ -1,0 +1,28 @@
+# Convenience targets for the GradGCL reproduction.
+
+.PHONY: install test bench bench-small examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-small:
+	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/graph_classification.py
+	python examples/node_classification.py
+	python examples/transfer_learning.py
+	python examples/collapse_analysis.py
+	python examples/gradient_flow_theory.py
+	python examples/custom_method.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,13 @@
+"""Benchmark-suite conftest: print recorded result tables after the run."""
+
+from .common import REPORTS
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduction result tables")
+    for text in REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,70 @@
+"""Build a custom contrastive method and make it GradGCL-compatible.
+
+A runnable version of docs/tutorial.md Sec. 3: a minimal method (node-drop
+views + InfoNCE) defined in ~30 lines that immediately works with the
+`gradgcl()` plug-in, compared base-vs-(f+g) on a MUTAG-style dataset.
+
+Usage::
+
+    python examples/custom_method.py
+"""
+
+import numpy as np
+
+from repro.augment import NodeDrop
+from repro.core import InfoNCEObjective, gradgcl
+from repro.datasets import load_tu_dataset
+from repro.eval import evaluate_graph_embeddings
+from repro.gnn import GINEncoder, ProjectionHead
+from repro.graph import GraphBatch
+from repro.methods import GraphContrastiveMethod, train_graph_method
+from repro.utils import print_table
+
+
+class MyMethod(GraphContrastiveMethod):
+    """Minimal custom method: two node-drop views + cosine InfoNCE."""
+
+    name = "MyMethod"
+
+    def __init__(self, in_features, hidden_dim=16, num_layers=2, *, rng):
+        super().__init__()
+        self.encoder = GINEncoder(in_features, hidden_dim, num_layers,
+                                  rng=rng)
+        self.projector = ProjectionHead(self.encoder.out_features, rng=rng)
+        self.objective = InfoNCEObjective(tau=0.5)
+        self.augment = NodeDrop(0.15)
+        self._rng = rng
+
+    def training_loss(self, batch):
+        view1 = GraphBatch([self.augment(g, self._rng)
+                            for g in batch.graphs])
+        view2 = GraphBatch([self.augment(g, self._rng)
+                            for g in batch.graphs])
+        _, h1 = self.encoder(view1)
+        _, h2 = self.encoder(view2)
+        return self.objective.loss(self.projector(h1), self.projector(h2))
+
+    def graph_embeddings(self, batch):
+        _, h = self.encoder(batch)
+        return h
+
+
+def main():
+    dataset = load_tu_dataset("MUTAG", scale="small", seed=0)
+    rows = []
+    for label, weight in [("MyMethod", 0.0), ("MyMethod(f+g)", 0.5)]:
+        rng = np.random.default_rng(0)
+        method = MyMethod(dataset.num_features, rng=rng)
+        if weight > 0:
+            method = gradgcl(method, weight)   # <- one line to plug in
+        train_graph_method(method, dataset.graphs, epochs=15,
+                           batch_size=32, seed=0)
+        acc, std = evaluate_graph_embeddings(method.embed(dataset.graphs),
+                                             dataset.labels())
+        rows.append([label, f"{acc:.2f}±{std:.2f}"])
+    print_table("Custom method with the GradGCL plug-in",
+                ["Method", "Accuracy (%)"], rows)
+
+
+if __name__ == "__main__":
+    main()

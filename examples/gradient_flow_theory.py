@@ -1,0 +1,42 @@
+"""Theory demo: Lemma 2/3 gradient flow of a linear encoder (Sec. III-B.2).
+
+Simulates the euclidean-InfoNCE gradient flow of the paper's linear-encoder
+analysis at several gradient weights and prints the rank trajectories —
+the mechanism behind Fig. 5's collapse mitigation, in its provable setting.
+
+Usage::
+
+    python examples/gradient_flow_theory.py
+"""
+
+import numpy as np
+
+from repro.core import simulate_gradient_flow
+from repro.utils import print_table
+
+
+def main():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 10))
+    x_pos = x + 0.1 * rng.normal(size=x.shape)  # small augmentation delta
+
+    rows = []
+    for weight in [0.0, 0.25, 0.5, 0.75]:
+        result = simulate_gradient_flow(x, x_pos, dim_out=10, steps=200,
+                                        step_size=0.05,
+                                        gradient_weight=weight, seed=0)
+        stride = len(result.embedding_ranks) // 4
+        trajectory = " -> ".join(
+            f"{r:.2f}" for r in result.embedding_ranks[::stride])
+        rows.append([f"a={weight}", trajectory,
+                     f"{result.final_weight_rank:.2f}",
+                     f"{result.losses[-1]:.4f}"])
+    print_table("Linear-encoder gradient flow (Lemmas 2-3)",
+                ["Gradient weight", "Embedding effective rank over time",
+                 "Final W rank", "Final loss"], rows)
+    print("\nLarger gradient weights hold the spectrum open — the "
+          "mechanism behind the paper's Fig. 5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: enhance SimGRACE with GradGCL on a MUTAG-style dataset.
+
+Runs the three configurations of the paper's Table IV on one dataset:
+
+* SimGRACE        — the base model (a = 0),
+* SimGRACE(g)     — gradients alone (a = 1),
+* SimGRACE(f+g)   — full GradGCL (a = 0.5),
+
+then reports 10-fold SVM accuracy of the frozen embeddings.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import effective_rank, gradgcl
+from repro.datasets import load_tu_dataset
+from repro.eval import evaluate_graph_embeddings
+from repro.methods import SimGRACE, train_graph_method
+from repro.utils import print_table
+
+
+def run_variant(dataset, weight: float, seeds=(0, 1)):
+    """Train one (possibly GradGCL-wrapped) SimGRACE; average over seeds."""
+    accs, stds, eranks, losses = [], [], [], []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        method = SimGRACE(dataset.num_features, hidden_dim=16, num_layers=2,
+                          rng=rng)
+        if weight > 0:
+            method = gradgcl(method, weight)
+        history = train_graph_method(method, dataset.graphs, epochs=20,
+                                     batch_size=32, lr=1e-3, seed=seed)
+        embeddings = method.embed(dataset.graphs)
+        acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
+                                             folds=10, repeats=3, seed=seed)
+        accs.append(acc)
+        stds.append(std)
+        eranks.append(effective_rank(embeddings))
+        losses.append(history.final_loss)
+    return (float(np.mean(accs)), float(np.mean(stds)),
+            float(np.mean(eranks)), float(np.mean(losses)))
+
+
+def main():
+    dataset = load_tu_dataset("MUTAG", scale="small", seed=0)
+    stats = dataset.statistics()
+    print(f"Dataset: {stats['name']} — {stats['num_graphs']} graphs, "
+          f"{stats['num_classes']} classes, "
+          f"avg {stats['avg_nodes']:.1f} nodes")
+
+    rows = []
+    for label, weight in [("SimGRACE", 0.0), ("SimGRACE(g)", 1.0),
+                          ("SimGRACE(f+g)", 0.5)]:
+        acc, std, erank, loss = run_variant(dataset, weight)
+        rows.append([label, f"{acc:.2f}±{std:.2f}", f"{erank:.2f}",
+                     f"{loss:.3f}"])
+    print_table("GradGCL quickstart (Table IV, one dataset)",
+                ["Method", "Accuracy (%)", "Effective rank", "Final loss"],
+                rows)
+
+
+if __name__ == "__main__":
+    main()

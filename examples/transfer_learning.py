@@ -1,0 +1,60 @@
+"""Transfer learning: pretrain on ZINC-style molecules, finetune downstream.
+
+Mirrors the paper's Table VI protocol: GraphCL vs GraphCL(f+g) pretrained on
+an unlabelled molecule corpus, finetuned on three MoleculeNet-style binary
+property datasets, reporting ROC-AUC.
+
+Usage::
+
+    python examples/transfer_learning.py
+"""
+
+import numpy as np
+
+from repro.core import gradgcl
+from repro.datasets import load_molecule_dataset, load_pretrain_dataset
+from repro.gnn import GINEncoder
+from repro.methods import GraphCL, finetune_roc_auc, run_transfer
+from repro.utils import print_table
+
+DOWNSTREAM = ["BBBP", "BACE", "ClinTox"]
+
+
+def main():
+    pretrain = load_pretrain_dataset("ZINC-2M", scale="small", seed=0)
+    downstream = [load_molecule_dataset(name, scale="small", seed=0)
+                  for name in DOWNSTREAM]
+    print(f"Pretraining corpus: {len(pretrain)} unlabelled molecules")
+
+    rows = []
+
+    # No-pretrain reference: finetune a randomly initialized encoder in the
+    # same low-finetune-data regime (75% of graphs held out for testing).
+    rng = np.random.default_rng(0)
+    fresh = GINEncoder(pretrain.num_features, 16, 2, rng=rng)
+    no_pretrain = {ds.name: np.mean([
+        finetune_roc_auc(fresh, ds, epochs=8, lr=3e-3,
+                         test_fraction=0.75, seed=s)
+        for s in (1, 2)])
+        for ds in downstream}
+    rows.append(["No Pre-Train"]
+                + [f"{no_pretrain[name]:.1f}" for name in DOWNSTREAM]
+                + [f"{np.mean(list(no_pretrain.values())):.1f}"])
+
+    for label, weight in [("GraphCL", 0.0), ("GraphCL(f+g)", 0.5)]:
+        rng = np.random.default_rng(0)
+        method = GraphCL(pretrain.num_features, 16, 2, rng=rng)
+        if weight > 0:
+            method = gradgcl(method, weight)
+        result = run_transfer(method, pretrain.graphs, downstream,
+                              pretrain_epochs=4, finetune_epochs=8,
+                              lr=3e-3, repeats=2, seed=1)
+        rows.append([label] + [f"{result[name]:.1f}" for name in DOWNSTREAM]
+                    + [f"{result.average:.1f}"])
+
+    print_table("Transfer learning ROC-AUC (mini Table VI)",
+                ["Method"] + DOWNSTREAM + ["Avg."], rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept so offline editable installs work)."""
+
+from setuptools import setup
+
+setup()

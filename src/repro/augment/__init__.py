@@ -1,0 +1,17 @@
+"""Graph augmentations: structural, feature-level, adaptive, encoder-level."""
+
+from .base import Augmentation, Identity
+from .structural import EdgePerturb, NodeDrop, SubgraphSample
+from .features import AttributeMask, FeatureColumnDrop
+from .compose import Compose, RandomChoice
+from .adaptive import AdaptiveEdgeDrop, AdaptiveFeatureMask
+from .encoder_perturb import perturbed_copy
+
+__all__ = [
+    "Augmentation", "Identity",
+    "NodeDrop", "EdgePerturb", "SubgraphSample",
+    "AttributeMask", "FeatureColumnDrop",
+    "Compose", "RandomChoice",
+    "AdaptiveEdgeDrop", "AdaptiveFeatureMask",
+    "perturbed_copy",
+]

@@ -1,0 +1,35 @@
+"""Augmentation interface.
+
+An augmentation is a callable ``(graph, rng) -> graph`` producing a perturbed
+view of the input (the ``Pert`` operator of the paper's Sec. II-C).  All
+randomness comes from the explicit generator so views are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["Augmentation", "Identity"]
+
+
+@runtime_checkable
+class Augmentation(Protocol):
+    """Structural typing for augmentations: callable graph transforms."""
+
+    name: str
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        ...
+
+
+class Identity:
+    """No-op augmentation (used by MVGRL's anchor view and in ablations)."""
+
+    name = "identity"
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        return graph.copy()

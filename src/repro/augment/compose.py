@@ -1,0 +1,64 @@
+"""Augmentation combinators: sequencing and (weighted) random choice.
+
+GraphCL samples one augmentation per view uniformly; JOAO replaces the
+uniform distribution with a learned one, which it updates through
+:meth:`RandomChoice.set_probabilities`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..graph import Graph
+from .base import Augmentation
+
+__all__ = ["Compose", "RandomChoice"]
+
+
+class Compose:
+    """Apply augmentations in sequence."""
+
+    def __init__(self, augmentations: Sequence[Augmentation]):
+        if not augmentations:
+            raise ValueError("Compose needs at least one augmentation")
+        self.augmentations = list(augmentations)
+        self.name = "+".join(a.name for a in self.augmentations)
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        for aug in self.augmentations:
+            graph = aug(graph, rng)
+        return graph
+
+
+class RandomChoice:
+    """Pick one augmentation per call according to ``probabilities``."""
+
+    def __init__(self, augmentations: Sequence[Augmentation],
+                 probabilities: Sequence[float] | None = None):
+        if not augmentations:
+            raise ValueError("RandomChoice needs at least one augmentation")
+        self.augmentations = list(augmentations)
+        self.name = "choice(" + "|".join(a.name for a in self.augmentations) + ")"
+        if probabilities is None:
+            probabilities = np.full(len(self.augmentations),
+                                    1.0 / len(self.augmentations))
+        self.set_probabilities(probabilities)
+        self.last_choice: int | None = None
+
+    def set_probabilities(self, probabilities: Sequence[float]) -> None:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if len(probabilities) != len(self.augmentations):
+            raise ValueError("probability count must match augmentations")
+        if (probabilities < 0).any():
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("probabilities must not all be zero")
+        self.probabilities = probabilities / total
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        index = int(rng.choice(len(self.augmentations), p=self.probabilities))
+        self.last_choice = index
+        return self.augmentations[index](graph, rng)

@@ -1,0 +1,33 @@
+"""Encoder perturbation (SimGRACE's "augmentation-free" view).
+
+SimGRACE produces the second view by running the *same* graph through a
+perturbed copy of the encoder: ``theta' = theta + eta * epsilon`` where
+``epsilon ~ N(0, std(theta_layer)^2)`` per parameter tensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module
+
+__all__ = ["perturbed_copy"]
+
+
+def perturbed_copy(module: Module, magnitude: float,
+                   rng: np.random.Generator) -> Module:
+    """Return a deep copy of ``module`` with Gaussian-perturbed weights.
+
+    The noise scale of each parameter tensor is ``magnitude * std(tensor)``,
+    matching SimGRACE's per-layer scaling.  Zero-variance tensors (e.g.
+    freshly initialized biases) receive no noise.
+    """
+    if magnitude < 0:
+        raise ValueError(f"magnitude must be >= 0, got {magnitude}")
+    clone = module.clone()
+    for _, param in clone.named_parameters():
+        std = float(param.data.std())
+        if std > 0 and magnitude > 0:
+            param.data += rng.normal(0.0, magnitude * std,
+                                     size=param.data.shape)
+    return clone

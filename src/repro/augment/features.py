@@ -1,0 +1,48 @@
+"""Feature-level augmentations: attribute masking and column dropping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["AttributeMask", "FeatureColumnDrop"]
+
+
+class AttributeMask:
+    """Zero out a random fraction of per-node feature entries.
+
+    GraphCL's attribute-masking operator; GRACE uses the column variant
+    (:class:`FeatureColumnDrop`).
+    """
+
+    name = "attr_mask"
+
+    def __init__(self, mask_ratio: float = 0.2):
+        if not 0.0 <= mask_ratio < 1.0:
+            raise ValueError(f"mask_ratio must be in [0, 1), got {mask_ratio}")
+        self.mask_ratio = mask_ratio
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        out = graph.copy()
+        mask = rng.random(out.x.shape) < self.mask_ratio
+        out.x = np.where(mask, 0.0, out.x)
+        return out
+
+
+class FeatureColumnDrop:
+    """Zero entire feature columns (GRACE/GCA-style feature masking)."""
+
+    name = "feature_column_drop"
+
+    def __init__(self, drop_ratio: float = 0.2):
+        if not 0.0 <= drop_ratio < 1.0:
+            raise ValueError(f"drop_ratio must be in [0, 1), got {drop_ratio}")
+        self.drop_ratio = drop_ratio
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        out = graph.copy()
+        cols = rng.random(out.x.shape[1]) < self.drop_ratio
+        out.x = out.x.copy()
+        out.x[:, cols] = 0.0
+        return out

@@ -1,0 +1,118 @@
+"""Structural augmentations: node dropping, edge perturbation, subgraphs.
+
+These are GraphCL's augmentation family (You et al. 2020); JOAO reuses the
+same operators and learns a sampling distribution over them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["NodeDrop", "EdgePerturb", "SubgraphSample"]
+
+
+def _validate_ratio(ratio: float, name: str) -> None:
+    if not 0.0 <= ratio < 1.0:
+        raise ValueError(f"{name} must be in [0, 1), got {ratio}")
+
+
+class NodeDrop:
+    """Remove a random fraction of nodes and keep the induced subgraph.
+
+    At least one node always survives so the view is non-degenerate.
+    """
+
+    name = "node_drop"
+
+    def __init__(self, drop_ratio: float = 0.2):
+        _validate_ratio(drop_ratio, "drop_ratio")
+        self.drop_ratio = drop_ratio
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        n = graph.num_nodes
+        keep_count = max(1, int(round(n * (1.0 - self.drop_ratio))))
+        kept = rng.choice(n, size=keep_count, replace=False)
+        return graph.subgraph(kept)
+
+
+class EdgePerturb:
+    """Delete a fraction of edges and add the same number of random edges."""
+
+    name = "edge_perturb"
+
+    def __init__(self, perturb_ratio: float = 0.2, add_edges: bool = True):
+        _validate_ratio(perturb_ratio, "perturb_ratio")
+        self.perturb_ratio = perturb_ratio
+        self.add_edges = add_edges
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        out = graph.copy()
+        m = graph.num_edges
+        if m == 0:
+            return out
+        num_changed = int(round(m * self.perturb_ratio))
+        if num_changed == 0:
+            return out
+        keep_mask = np.ones(m, dtype=bool)
+        keep_mask[rng.choice(m, size=num_changed, replace=False)] = False
+        kept = graph.edges[keep_mask]
+        if self.add_edges and graph.num_nodes > 1:
+            existing = graph.edge_set()
+            additions: list[tuple[int, int]] = []
+            attempts = 0
+            while len(additions) < num_changed and attempts < 20 * num_changed:
+                attempts += 1
+                u, v = rng.integers(0, graph.num_nodes, size=2)
+                if u == v:
+                    continue
+                edge = (int(min(u, v)), int(max(u, v)))
+                if edge in existing:
+                    continue
+                existing.add(edge)
+                additions.append(edge)
+            if additions:
+                kept = np.concatenate(
+                    [kept, np.array(additions, dtype=np.int64)], axis=0)
+        out.edges = Graph.canonical_edges(kept)
+        return out
+
+
+class SubgraphSample:
+    """Random-walk subgraph sampling: keep nodes reached by a walk."""
+
+    name = "subgraph"
+
+    def __init__(self, keep_ratio: float = 0.8):
+        if not 0.0 < keep_ratio <= 1.0:
+            raise ValueError(f"keep_ratio must be in (0, 1], got {keep_ratio}")
+        self.keep_ratio = keep_ratio
+
+    def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
+        n = graph.num_nodes
+        target = max(1, int(round(n * self.keep_ratio)))
+        neighbors: dict[int, list[int]] = {i: [] for i in range(n)}
+        for u, v in graph.edges:
+            neighbors[int(u)].append(int(v))
+            neighbors[int(v)].append(int(u))
+        visited = {int(rng.integers(0, n))}
+        frontier = list(visited)
+        # Random-walk-with-restart style expansion until the target size.
+        while len(visited) < target:
+            if not frontier:
+                # Disconnected remainder: jump to a fresh random node.
+                remaining = [i for i in range(n) if i not in visited]
+                fresh = int(rng.choice(remaining))
+                visited.add(fresh)
+                frontier.append(fresh)
+                continue
+            current = frontier[int(rng.integers(0, len(frontier)))]
+            options = [v for v in neighbors[current] if v not in visited]
+            if not options:
+                frontier.remove(current)
+                continue
+            nxt = int(options[int(rng.integers(0, len(options)))])
+            visited.add(nxt)
+            frontier.append(nxt)
+        return graph.subgraph(np.array(sorted(visited)))

@@ -1,0 +1,25 @@
+"""Classic baselines: graph kernels, *2vec models, supervised references."""
+
+from .wl_kernel import wl_features, wl_relabel
+from .graphlet import graphlet_features
+from .skipgram import biased_walks, random_walks, train_skipgram
+from .vec_models import (
+    deepwalk_node_embeddings,
+    dgk_features,
+    graph2vec_features,
+    node2vec_graph_features,
+    sub2vec_features,
+)
+from .supervised import (
+    raw_graph_features,
+    raw_node_features,
+    supervised_gcn_accuracy,
+)
+
+__all__ = [
+    "wl_features", "wl_relabel", "graphlet_features",
+    "train_skipgram", "random_walks", "biased_walks",
+    "node2vec_graph_features", "deepwalk_node_embeddings",
+    "sub2vec_features", "graph2vec_features", "dgk_features",
+    "supervised_gcn_accuracy", "raw_graph_features", "raw_node_features",
+]

@@ -1,0 +1,90 @@
+"""Skip-gram with negative sampling on numpy (shared by the *2vec family)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["train_skipgram", "random_walks", "biased_walks"]
+
+
+def random_walks(neighbors: Sequence[Sequence[int]], *, num_walks: int,
+                 walk_length: int, rng: np.random.Generator) -> list[list[int]]:
+    """Uniform random walks from every node (DeepWalk)."""
+    walks = []
+    n = len(neighbors)
+    for _ in range(num_walks):
+        for start in range(n):
+            walk = [start]
+            while len(walk) < walk_length:
+                options = neighbors[walk[-1]]
+                if not options:
+                    break
+                walk.append(int(options[int(rng.integers(0, len(options)))]))
+            walks.append(walk)
+    return walks
+
+
+def biased_walks(neighbors: Sequence[Sequence[int]], *, num_walks: int,
+                 walk_length: int, p: float, q: float,
+                 rng: np.random.Generator) -> list[list[int]]:
+    """node2vec's second-order biased walks (return p, in-out q)."""
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    neighbor_sets = [set(ns) for ns in neighbors]
+    walks = []
+    n = len(neighbors)
+    for _ in range(num_walks):
+        for start in range(n):
+            walk = [start]
+            while len(walk) < walk_length:
+                current = walk[-1]
+                options = neighbors[current]
+                if not options:
+                    break
+                if len(walk) == 1:
+                    walk.append(int(options[int(rng.integers(0, len(options)))]))
+                    continue
+                previous = walk[-2]
+                weights = np.array([
+                    1.0 / p if nxt == previous
+                    else (1.0 if nxt in neighbor_sets[previous] else 1.0 / q)
+                    for nxt in options])
+                weights /= weights.sum()
+                walk.append(int(rng.choice(options, p=weights)))
+            walks.append(walk)
+    return walks
+
+
+def train_skipgram(walks: Sequence[Sequence[int]], vocab_size: int, *,
+                   dim: int = 16, window: int = 3, negatives: int = 3,
+                   epochs: int = 2, lr: float = 0.05,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Train skip-gram embeddings with negative sampling; return (V, dim)."""
+    if vocab_size < 1:
+        raise ValueError("vocab_size must be >= 1")
+    emb_in = 0.1 * rng.normal(size=(vocab_size, dim))
+    emb_out = 0.1 * rng.normal(size=(vocab_size, dim))
+    for epoch in range(epochs):
+        step_lr = lr / (1.0 + epoch)
+        for walk in walks:
+            for i, center in enumerate(walk):
+                lo = max(0, i - window)
+                hi = min(len(walk), i + window + 1)
+                for j in range(lo, hi):
+                    if j == i:
+                        continue
+                    context = walk[j]
+                    targets = [context] + list(
+                        rng.integers(0, vocab_size, size=negatives))
+                    labels = np.zeros(len(targets))
+                    labels[0] = 1.0
+                    vecs = emb_out[targets]                      # (k, d)
+                    scores = vecs @ emb_in[center]
+                    probs = 1.0 / (1.0 + np.exp(-scores))
+                    errors = (probs - labels)[:, None]           # (k, 1)
+                    grad_center = (errors * vecs).sum(axis=0)
+                    emb_out[targets] -= step_lr * errors * emb_in[center]
+                    emb_in[center] -= step_lr * grad_center
+    return emb_in

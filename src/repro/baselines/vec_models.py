@@ -1,0 +1,139 @@
+"""The *2vec baseline family: node2vec, DeepWalk, sub2vec, graph2vec, DGK.
+
+These are the classic unsupervised baselines of Table IV (graph level) and
+Table V (node level).  graph2vec and DGK operate on WL subtree "documents";
+node2vec/sub2vec embed per-graph walk statistics, which — as in the paper —
+makes them weak on graph classification because graphs share no node space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..graph import Graph
+from .skipgram import biased_walks, random_walks, train_skipgram
+from .wl_kernel import wl_relabel
+
+__all__ = ["node2vec_graph_features", "deepwalk_node_embeddings",
+           "sub2vec_features", "graph2vec_features", "dgk_features"]
+
+
+def _neighbor_lists(graph: Graph) -> list[list[int]]:
+    adj: list[list[int]] = [[] for _ in range(graph.num_nodes)]
+    for u, v in graph.edges:
+        adj[int(u)].append(int(v))
+        adj[int(v)].append(int(u))
+    return adj
+
+
+def node2vec_graph_features(graphs: Sequence[Graph], *, dim: int = 16,
+                            p: float = 1.0, q: float = 0.5,
+                            num_walks: int = 2, walk_length: int = 8,
+                            seed: int = 0) -> np.ndarray:
+    """Per-graph node2vec then mean/max pooling of the node embeddings.
+
+    Each graph gets its own embedding space, so pooled vectors carry only
+    weak structural signal — matching node2vec's near-chance Table IV rows.
+    """
+    rng = np.random.default_rng(seed)
+    out = np.zeros((len(graphs), 2 * dim))
+    for i, graph in enumerate(graphs):
+        walks = biased_walks(_neighbor_lists(graph), num_walks=num_walks,
+                             walk_length=walk_length, p=p, q=q, rng=rng)
+        emb = train_skipgram(walks, graph.num_nodes, dim=dim, rng=rng,
+                             epochs=1)
+        out[i] = np.concatenate([emb.mean(axis=0), emb.max(axis=0)])
+    return out
+
+
+def deepwalk_node_embeddings(graph: Graph, *, dim: int = 32,
+                             num_walks: int = 4, walk_length: int = 12,
+                             epochs: int = 2, seed: int = 0) -> np.ndarray:
+    """DeepWalk node embeddings for one (large) graph (Table V baseline)."""
+    rng = np.random.default_rng(seed)
+    walks = random_walks(_neighbor_lists(graph), num_walks=num_walks,
+                         walk_length=walk_length, rng=rng)
+    return train_skipgram(walks, graph.num_nodes, dim=dim, epochs=epochs,
+                          rng=rng)
+
+
+def sub2vec_features(graphs: Sequence[Graph], *, dim: int = 16,
+                     num_walks: int = 6, walk_length: int = 8,
+                     seed: int = 0) -> np.ndarray:
+    """sub2vec-style: bag of hashed degree-sequence walk patterns + SVD."""
+    rng = np.random.default_rng(seed)
+    buckets = 256
+    counts = np.zeros((len(graphs), buckets))
+    for i, graph in enumerate(graphs):
+        neighbors = _neighbor_lists(graph)
+        degrees = graph.degrees()
+        walks = random_walks(neighbors, num_walks=num_walks,
+                             walk_length=walk_length, rng=rng)
+        for walk in walks:
+            pattern = tuple(int(min(degrees[n], 8)) for n in walk)
+            counts[i, hash(pattern) % buckets] += 1.0
+    norms = np.linalg.norm(counts, axis=1, keepdims=True)
+    norms[norms < 1e-12] = 1.0
+    counts /= norms
+    return _truncated_svd(counts, dim)
+
+
+def graph2vec_features(graphs: Sequence[Graph], *, dim: int = 32,
+                       iterations: int = 3) -> np.ndarray:
+    """graph2vec-style: TF-IDF over WL subtree patterns + truncated SVD."""
+    history = wl_relabel(graphs, iterations)
+    blocks = []
+    for iteration_labels in history[1:]:  # skip raw degrees
+        size = 1 + max((max(ls) if ls else 0) for ls in iteration_labels)
+        block = np.zeros((len(graphs), size))
+        for i, ls in enumerate(iteration_labels):
+            for label in ls:
+                block[i, label] += 1.0
+        blocks.append(block)
+    counts = np.concatenate(blocks, axis=1)
+    # TF-IDF: damp ubiquitous patterns.
+    document_freq = (counts > 0).sum(axis=0)
+    idf = np.log((1.0 + len(graphs)) / (1.0 + document_freq)) + 1.0
+    tfidf = counts * idf
+    norms = np.linalg.norm(tfidf, axis=1, keepdims=True)
+    norms[norms < 1e-12] = 1.0
+    return _truncated_svd(tfidf / norms, dim)
+
+
+def dgk_features(graphs: Sequence[Graph], *, dim: int = 32,
+                 iterations: int = 3, context_dim: int = 16) -> np.ndarray:
+    """Deep Graph Kernel: WL counts reweighted by pattern co-occurrence.
+
+    DGK learns pattern embeddings from their co-occurrence (patterns in the
+    same graph are context for each other); we factorize the co-occurrence
+    matrix and reweight pattern counts by embedding similarity mass.
+    """
+    history = wl_relabel(graphs, iterations)
+    final = history[-1]
+    size = 1 + max((max(ls) if ls else 0) for ls in final)
+    counts = np.zeros((len(graphs), size))
+    for i, ls in enumerate(final):
+        for label in ls:
+            counts[i, label] += 1.0
+    # Pattern co-occurrence and its low-rank factorization.
+    cooc = counts.T @ counts
+    u, s, _ = np.linalg.svd(cooc, full_matrices=False)
+    k = min(context_dim, len(s))
+    pattern_emb = u[:, :k] * np.sqrt(s[:k])
+    weighted = counts @ pattern_emb            # (graphs, k)
+    combined = np.concatenate([counts, weighted], axis=1)
+    norms = np.linalg.norm(combined, axis=1, keepdims=True)
+    norms[norms < 1e-12] = 1.0
+    return _truncated_svd(combined / norms, dim)
+
+
+def _truncated_svd(matrix: np.ndarray, dim: int) -> np.ndarray:
+    """Rank-``dim`` row embeddings of ``matrix`` via SVD."""
+    u, s, _ = np.linalg.svd(matrix, full_matrices=False)
+    k = min(dim, len(s))
+    out = u[:, :k] * s[:k]
+    if k < dim:  # pad so downstream shapes are stable
+        out = np.concatenate([out, np.zeros((len(out), dim - k))], axis=1)
+    return out

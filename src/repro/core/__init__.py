@@ -1,0 +1,45 @@
+"""GradGCL core: gradient features, combined objective, collapse analysis."""
+
+from .gradient_features import (
+    aggregate_gradient_features,
+    bipartite_jsd_gradient_features,
+    bootstrap_gradient_features,
+    infonce_gradient_features,
+    jsd_gradient_features,
+)
+from .objectives import (
+    AlignmentAugmentedObjective,
+    ContrastiveObjective,
+    GradGCLObjective,
+    InfoNCEObjective,
+    JSDObjective,
+    gradgcl,
+)
+from .collapse import (
+    covariance_matrix,
+    effective_rank,
+    log_spectrum,
+    matrix_effective_rank,
+    num_collapsed_dimensions,
+    singular_spectrum,
+)
+from .hard_negatives import hard_negative_margin, hard_negative_rate
+from .theory import (
+    GradientFlowResult,
+    euclid_infonce_linear,
+    simulate_gradient_flow,
+    weight_velocity,
+)
+
+__all__ = [
+    "infonce_gradient_features", "jsd_gradient_features",
+    "bipartite_jsd_gradient_features", "bootstrap_gradient_features",
+    "aggregate_gradient_features",
+    "ContrastiveObjective", "InfoNCEObjective", "JSDObjective",
+    "GradGCLObjective", "AlignmentAugmentedObjective", "gradgcl",
+    "covariance_matrix", "singular_spectrum", "log_spectrum",
+    "num_collapsed_dimensions", "effective_rank", "matrix_effective_rank",
+    "euclid_infonce_linear", "weight_velocity", "simulate_gradient_flow",
+    "GradientFlowResult",
+    "hard_negative_rate", "hard_negative_margin",
+]

@@ -1,0 +1,59 @@
+"""Hard-negative diagnostics (paper Sec. III-A.2).
+
+The paper argues existing GCL "may not be able to distinguish samples that
+are similar in terms of features but do not belong to the same class, i.e.,
+failing to handle hard negative samples", and that the gradient channel
+carries the missing instance-level structure.  These metrics quantify that:
+
+* :func:`hard_negative_rate` — fraction of anchors whose nearest other
+  sample (cosine) belongs to a different class ("hard" confusable
+  neighbours in the embedding space);
+* :func:`hard_negative_margin` — mean similarity gap between each anchor's
+  most-similar same-class and most-similar different-class samples
+  (negative values = hard negatives dominate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eval.similarity import cosine_similarity
+
+__all__ = ["hard_negative_rate", "hard_negative_margin"]
+
+
+def _masked_sims(embeddings: np.ndarray, labels: np.ndarray):
+    labels = np.asarray(labels)
+    sims = cosine_similarity(embeddings)
+    np.fill_diagonal(sims, -np.inf)
+    same = labels[:, None] == labels[None, :]
+    return sims, same
+
+
+def hard_negative_rate(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose nearest neighbour has a different label."""
+    sims, same = _masked_sims(embeddings, labels)
+    nearest = sims.argmax(axis=1)
+    return float((~same[np.arange(len(sims)), nearest]).mean())
+
+
+def hard_negative_margin(embeddings: np.ndarray,
+                         labels: np.ndarray) -> float:
+    """Mean (best same-class sim) - (best other-class sim) per anchor.
+
+    Positive margins mean intra-class neighbours dominate; anchors with no
+    same-class or no other-class candidates are skipped.
+    """
+    sims, same = _masked_sims(embeddings, labels)
+    margins = []
+    for i in range(len(sims)):
+        intra = sims[i][same[i]]
+        inter = sims[i][~same[i]]
+        intra = intra[np.isfinite(intra)]
+        inter = inter[np.isfinite(inter)]
+        if intra.size == 0 or inter.size == 0:
+            continue
+        margins.append(intra.max() - inter.max())
+    if not margins:
+        raise ValueError("need both intra- and inter-class candidates")
+    return float(np.mean(margins))

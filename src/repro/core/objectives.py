@@ -1,0 +1,177 @@
+"""Contrastive objectives and the GradGCL plug-in wrapper (paper Eq. 18).
+
+Every method in :mod:`repro.methods` delegates its view-vs-view loss to a
+:class:`ContrastiveObjective`.  GradGCL is then literally a plug-in: wrapping
+a method's objective in :class:`GradGCLObjective` adds the gradient
+contrastive term without touching the method itself, mirroring the paper's
+"XXX(f+g)" construction:
+
+* ``weight = 0``   -> the base model ("XXX"),
+* ``weight = 1``   -> gradients alone ("XXX(g)"),
+* ``0 < weight < 1`` -> the full GradGCL ("XXX(f+g)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..losses import info_nce, jsd_loss
+from ..tensor import Tensor
+from .gradient_features import (
+    infonce_gradient_features,
+    jsd_gradient_features,
+)
+
+__all__ = [
+    "ContrastiveObjective",
+    "InfoNCEObjective",
+    "JSDObjective",
+    "GradGCLObjective",
+    "AlignmentAugmentedObjective",
+    "gradgcl",
+]
+
+
+class ContrastiveObjective:
+    """Maps a pair of view embeddings ``(u, v)`` to a scalar loss.
+
+    Subclasses that support GradGCL also implement
+    :meth:`gradient_features`, returning the per-sample loss gradients
+    ``(g, g')`` as differentiable tensors (paper Eq. 6).
+    """
+
+    def loss(self, u: Tensor, v: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def gradient_features(self, u: Tensor, v: Tensor) -> tuple[Tensor, Tensor]:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose gradient features")
+
+    def __call__(self, u: Tensor, v: Tensor) -> Tensor:
+        return self.loss(u, v)
+
+
+@dataclass
+class InfoNCEObjective(ContrastiveObjective):
+    """The classic representation loss ``l_f`` (paper Eq. 4 / Eq. 20)."""
+
+    tau: float = 0.5
+    sim: str = "cos"
+    symmetric: bool = True
+
+    def loss(self, u: Tensor, v: Tensor) -> Tensor:
+        return info_nce(u, v, tau=self.tau, sim=self.sim,
+                        symmetric=self.symmetric)
+
+    def gradient_features(self, u: Tensor, v: Tensor) -> tuple[Tensor, Tensor]:
+        return infonce_gradient_features(u, v, tau=self.tau, sim=self.sim)
+
+
+@dataclass
+class JSDObjective(ContrastiveObjective):
+    """Paired-view JSD objective (MVGRL-style graph-graph contrast)."""
+
+    def loss(self, u: Tensor, v: Tensor) -> Tensor:
+        return jsd_loss(u, v)
+
+    def gradient_features(self, u: Tensor, v: Tensor) -> tuple[Tensor, Tensor]:
+        return jsd_gradient_features(u, v)
+
+
+@dataclass
+class GradGCLObjective(ContrastiveObjective):
+    """GradGCL combined objective ``(1-a) l_f + a l_g`` (paper Eq. 18).
+
+    Parameters
+    ----------
+    base:
+        The wrapped representation objective (supplies ``l_f`` and Eq. 6's
+        gradient features).
+    weight:
+        The gradient-loss weight ``a`` in Eq. 18.
+    grad_tau / grad_sim:
+        Temperature and similarity of the gradient InfoNCE ``l_g`` (Eq. 19).
+    detach_features:
+        Ablation switch: treat the gradient features as constants instead of
+        differentiable functions of the representations.  The paper's method
+        keeps them differentiable (default False).
+    """
+
+    base: ContrastiveObjective = field(default_factory=InfoNCEObjective)
+    weight: float = 0.5
+    grad_tau: float = 0.5
+    grad_sim: str = "cos"
+    detach_features: bool = False
+
+    def __post_init__(self):
+        if not 0.0 <= self.weight <= 1.0:
+            raise ValueError(
+                f"gradient weight must be in [0, 1], got {self.weight}")
+        self.last_parts: dict[str, float] = {}
+
+    def loss(self, u: Tensor, v: Tensor) -> Tensor:
+        parts: dict[str, float] = {}
+        total = None
+        if self.weight < 1.0:
+            loss_f = self.base.loss(u, v)
+            parts["loss_f"] = loss_f.item()
+            total = loss_f * (1.0 - self.weight)
+        if self.weight > 0.0:
+            loss_g = self.gradient_loss(u, v)
+            parts["loss_g"] = loss_g.item()
+            term = loss_g * self.weight
+            total = term if total is None else total + term
+        self.last_parts = parts
+        return total
+
+    def gradient_loss(self, u: Tensor, v: Tensor) -> Tensor:
+        """The gradient contrastive term ``l_g`` (paper Eq. 19)."""
+        g_u, g_v = self.base.gradient_features(u, v)
+        if self.detach_features:
+            g_u, g_v = g_u.detach(), g_v.detach()
+        return info_nce(g_u, g_v, tau=self.grad_tau, sim=self.grad_sim)
+
+    def gradient_features(self, u: Tensor, v: Tensor) -> tuple[Tensor, Tensor]:
+        return self.base.gradient_features(u, v)
+
+
+@dataclass
+class AlignmentAugmentedObjective(ContrastiveObjective):
+    """Ablation baseline for Fig. 12(b): base loss + alignment regularizer.
+
+    Instead of GradGCL's gradient channel, this adds Wang & Isola's alignment
+    loss with the same mixing weight, letting the benchmarks compare "extra
+    alignment pressure" against "extra gradient information".
+    """
+
+    base: ContrastiveObjective = field(default_factory=InfoNCEObjective)
+    weight: float = 0.5
+
+    def loss(self, u: Tensor, v: Tensor) -> Tensor:
+        from ..losses import alignment_loss
+
+        base = self.base.loss(u, v)
+        align = alignment_loss(u, v)
+        return base * (1.0 - self.weight) + align * self.weight
+
+
+def gradgcl(method, weight: float = 0.5, *, grad_tau: float | None = None,
+            grad_sim: str = "cos", detach_features: bool = False):
+    """Wrap a method's objective with GradGCL and return the method.
+
+    This is the public plug-in entry point::
+
+        model = GraphCL(...)           # XXX
+        model = gradgcl(model, 0.5)    # XXX(f+g)
+        model = gradgcl(model, 1.0)    # XXX(g)
+    """
+    base = method.objective
+    if isinstance(base, GradGCLObjective):
+        base = base.base  # re-wrapping replaces the old weight
+    tau = grad_tau
+    if tau is None:
+        tau = getattr(base, "tau", 0.5)
+    method.objective = GradGCLObjective(
+        base=base, weight=weight, grad_tau=tau, grad_sim=grad_sim,
+        detach_features=detach_features)
+    return method

@@ -1,0 +1,49 @@
+"""Synthetic dataset generators mirroring the paper's benchmark tables."""
+
+from .synthetic import (
+    MOTIFS,
+    barabasi_albert_edges,
+    class_prototypes,
+    erdos_renyi_edges,
+    graph_classification_sample,
+    plant_motif,
+    ring_lattice_edges,
+    sbm_node_graph,
+)
+from .tudataset import (
+    TU_SPECS,
+    GraphDataset,
+    TUSpec,
+    load_tu_dataset,
+    tu_dataset_names,
+)
+from .citation import (
+    NODE_SPECS,
+    NodeDataset,
+    NodeSpec,
+    load_node_dataset,
+    node_dataset_names,
+)
+from .io import load_graph_dataset, save_graph_dataset
+from .molecules import (
+    MOLECULE_SPECS,
+    NUM_ATOM_TYPES,
+    MoleculeSpec,
+    load_molecule_dataset,
+    load_pretrain_dataset,
+    molecule_dataset_names,
+)
+
+__all__ = [
+    "MOTIFS", "erdos_renyi_edges", "barabasi_albert_edges",
+    "ring_lattice_edges", "plant_motif", "class_prototypes",
+    "graph_classification_sample", "sbm_node_graph",
+    "TUSpec", "TU_SPECS", "GraphDataset", "load_tu_dataset",
+    "tu_dataset_names",
+    "NodeSpec", "NODE_SPECS", "NodeDataset", "load_node_dataset",
+    "node_dataset_names",
+    "MoleculeSpec", "MOLECULE_SPECS", "NUM_ATOM_TYPES",
+    "load_molecule_dataset", "load_pretrain_dataset",
+    "molecule_dataset_names",
+    "save_graph_dataset", "load_graph_dataset",
+]

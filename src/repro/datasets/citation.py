@@ -1,0 +1,133 @@
+"""Node-classification datasets (paper Table II).
+
+Citation / co-purchase / co-authorship graphs are replaced by stochastic
+block models whose blocks are the node classes, with class-prototype
+features, sized down from Table II.  Train/val/test splits follow the
+transductive protocol of GRACE/MVGRL: a small labelled training set, the
+rest split between validation and test.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import Graph
+from .synthetic import sbm_node_graph
+
+__all__ = ["NodeSpec", "NodeDataset", "NODE_SPECS", "load_node_dataset",
+           "node_dataset_names"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Statistics of one Table-II dataset plus generator knobs."""
+
+    name: str
+    num_nodes: int           # paper-scale node count (Table II)
+    num_classes: int
+    feature_dim_paper: int
+    small_nodes: int         # nodes at scale="small"
+    feature_dim: int = 32    # feature dim at scale="small"
+    p_in: float = 0.05
+    p_out: float = 0.005
+    feature_noise: float = 1.2
+    train_per_class: int = 20
+
+
+NODE_SPECS: dict[str, NodeSpec] = {spec.name: spec for spec in [
+    NodeSpec("Cora", 2708, 7, 1433, 560),
+    NodeSpec("CiteSeer", 3327, 6, 3703, 540),
+    NodeSpec("PubMed", 19717, 3, 500, 600),
+    NodeSpec("WikiCS", 11701, 10, 300, 700, p_in=0.06),
+    NodeSpec("Amazon-Computers", 13752, 10, 767, 700, p_in=0.06),
+    NodeSpec("Amazon-Photo", 7650, 8, 745, 640, p_in=0.06),
+    NodeSpec("Coauthor-CS", 18333, 15, 6805, 750, p_in=0.08),
+    NodeSpec("Coauthor-Physics", 34493, 5, 8415, 650),
+    NodeSpec("ogbn-Arxiv", 169343, 40, 128, 1200, p_in=0.10,
+             feature_noise=1.0, train_per_class=10),
+]}
+
+
+class NodeDataset:
+    """A node-labelled graph with transductive train/val/test masks."""
+
+    def __init__(self, name: str, graph: Graph, num_classes: int,
+                 train_mask: np.ndarray, val_mask: np.ndarray,
+                 test_mask: np.ndarray):
+        if graph.node_y is None:
+            raise ValueError("node dataset requires per-node labels")
+        self.name = name
+        self.graph = graph
+        self.num_classes = num_classes
+        self.train_mask = train_mask
+        self.val_mask = val_mask
+        self.test_mask = test_mask
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_features(self) -> int:
+        return self.graph.num_features
+
+    def labels(self) -> np.ndarray:
+        return self.graph.node_y
+
+    def statistics(self) -> dict[str, float]:
+        """Row of Table II: nodes, edges, features, classes."""
+        return {
+            "name": self.name,
+            "nodes": self.graph.num_nodes,
+            "edges": self.graph.num_edges,
+            "features": self.graph.num_features,
+            "classes": self.num_classes,
+        }
+
+
+def node_dataset_names() -> list[str]:
+    """Names of the available Table-II style datasets."""
+    return list(NODE_SPECS)
+
+
+def load_node_dataset(name: str, *, scale: str = "small",
+                      seed: int = 0) -> NodeDataset:
+    """Generate the named node-classification dataset deterministically."""
+    if name not in NODE_SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {node_dataset_names()}")
+    spec = NODE_SPECS[name]
+    if scale == "small":
+        num_nodes, feature_dim = spec.small_nodes, spec.feature_dim
+    elif scale == "tiny":
+        num_nodes = max(30 * spec.num_classes, spec.small_nodes // 4)
+        feature_dim = max(8, spec.feature_dim // 2)
+    elif scale == "paper":
+        num_nodes, feature_dim = spec.num_nodes, spec.feature_dim_paper
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
+    graph = sbm_node_graph(num_nodes, spec.num_classes, feature_dim, rng,
+                           p_in=spec.p_in, p_out=spec.p_out,
+                           feature_noise=spec.feature_noise)
+
+    labels = graph.node_y
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    for c in range(spec.num_classes):
+        members = np.flatnonzero(labels == c)
+        rng.shuffle(members)
+        take = min(spec.train_per_class, max(1, len(members) // 3))
+        train_mask[members[:take]] = True
+    remaining = np.flatnonzero(~train_mask)
+    rng.shuffle(remaining)
+    split = len(remaining) // 3
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask[remaining[:split]] = True
+    test_mask[remaining[split:]] = True
+    return NodeDataset(name, graph, spec.num_classes, train_mask, val_mask,
+                       test_mask)

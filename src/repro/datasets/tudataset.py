@@ -1,0 +1,151 @@
+"""TU-style graph-classification datasets (paper Table I).
+
+Each named dataset is generated synthetically with the class structure of
+:func:`repro.datasets.synthetic.graph_classification_sample`, sized to mimic
+the real benchmark at a configurable scale.  ``scale="paper"`` reproduces
+Table I's graph counts; the default ``scale="small"`` keeps everything
+runnable on one CPU while preserving class balance, class count, and the
+relative size ordering of the datasets.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import Graph
+from .synthetic import class_prototypes, graph_classification_sample
+
+__all__ = ["TUSpec", "GraphDataset", "TU_SPECS", "load_tu_dataset",
+           "tu_dataset_names"]
+
+
+@dataclass(frozen=True)
+class TUSpec:
+    """Statistics of one Table-I dataset plus generator knobs."""
+
+    name: str
+    category: str
+    num_graphs: int          # paper-scale graph count (Table I)
+    num_classes: int
+    avg_nodes: float         # paper-scale average node count
+    small_graphs: int        # graphs at scale="small"
+    small_avg_nodes: int     # average nodes at scale="small"
+    feature_dim: int = 8
+    feature_noise: float = 1.0
+    structure_strength: float = 1.0
+
+
+# Table I of the paper, with the scaled-down defaults we actually run.
+# The ``feature_noise`` knobs are calibrated so frozen-embedding accuracy
+# lands in the paper's 50-90% band (saturated generators would hide the
+# base-vs-GradGCL differences the benchmarks measure).
+TU_SPECS: dict[str, TUSpec] = {spec.name: spec for spec in [
+    TUSpec("NCI1", "Biochemical", 4110, 2, 29.87, 360, 24,
+           feature_noise=4.5),
+    TUSpec("PROTEINS", "Biochemical", 1113, 2, 39.06, 240, 30,
+           feature_noise=4.5),
+    TUSpec("DD", "Biochemical", 1178, 2, 284.32, 160, 70,
+           feature_noise=5.0),
+    TUSpec("MUTAG", "Biochemical", 188, 2, 17.93, 188, 18,
+           feature_noise=3.5),
+    TUSpec("COLLAB", "Social Networks", 5000, 2, 74.49, 320, 40,
+           feature_noise=4.5),
+    TUSpec("IMDB-B", "Social Networks", 1000, 2, 19.77, 300, 20,
+           feature_noise=4.0),
+    TUSpec("RDT-B", "Social Networks", 2000, 2, 429.63, 160, 60,
+           feature_noise=4.5),
+    TUSpec("RDT-M5K", "Social Networks", 4999, 5, 508.52, 250, 50,
+           feature_noise=3.0),
+    TUSpec("RDT-M12K", "Social Networks", 11929, 11, 391.41, 330, 40,
+           feature_noise=3.0),
+    TUSpec("TWITTER-RGP", "Social Networks", 144033, 2, 4.03, 900, 6,
+           feature_noise=4.0),
+]}
+
+
+class GraphDataset:
+    """A labelled collection of graphs with Table-I style statistics."""
+
+    def __init__(self, name: str, graphs: list[Graph], num_classes: int,
+                 category: str = "Synthetic"):
+        if not graphs:
+            raise ValueError("dataset must contain at least one graph")
+        self.name = name
+        self.graphs = graphs
+        self.num_classes = num_classes
+        self.category = category
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self.graphs[index]
+
+    @property
+    def num_features(self) -> int:
+        return self.graphs[0].num_features
+
+    def labels(self) -> np.ndarray:
+        return np.array([g.y for g in self.graphs], dtype=np.int64)
+
+    def statistics(self) -> dict[str, float]:
+        """Row of Table I: counts, classes, average nodes/edges."""
+        nodes = [g.num_nodes for g in self.graphs]
+        edges = [g.num_edges for g in self.graphs]
+        return {
+            "name": self.name,
+            "category": self.category,
+            "num_graphs": len(self.graphs),
+            "num_classes": self.num_classes,
+            "avg_nodes": float(np.mean(nodes)),
+            "avg_edges": float(np.mean(edges)),
+        }
+
+
+def tu_dataset_names() -> list[str]:
+    """Names of the available Table-I style datasets."""
+    return list(TU_SPECS)
+
+
+def load_tu_dataset(name: str, *, scale: str = "small",
+                    seed: int = 0) -> GraphDataset:
+    """Generate the named TU-style dataset deterministically.
+
+    Parameters
+    ----------
+    scale:
+        ``"small"`` (default, single-CPU friendly), ``"tiny"`` (for unit
+        tests and quick benches), or ``"paper"`` (Table I graph counts).
+    seed:
+        Generator seed; the same (name, scale, seed) always yields the same
+        dataset.
+    """
+    if name not in TU_SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {tu_dataset_names()}")
+    spec = TU_SPECS[name]
+    if scale == "paper":
+        num_graphs, avg_nodes = spec.num_graphs, int(round(spec.avg_nodes))
+    elif scale == "small":
+        num_graphs, avg_nodes = spec.small_graphs, spec.small_avg_nodes
+    elif scale == "tiny":
+        num_graphs = max(8 * spec.num_classes, spec.small_graphs // 5)
+        avg_nodes = max(6, spec.small_avg_nodes // 2)
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
+    prototypes = class_prototypes(spec.num_classes, spec.feature_dim, rng)
+    labels = np.arange(num_graphs) % spec.num_classes  # balanced classes
+    rng.shuffle(labels)
+    graphs = [
+        graph_classification_sample(
+            int(label), spec.num_classes, avg_nodes, spec.feature_dim,
+            prototypes, rng, feature_noise=spec.feature_noise,
+            structure_strength=spec.structure_strength)
+        for label in labels
+    ]
+    return GraphDataset(name, graphs, spec.num_classes, spec.category)

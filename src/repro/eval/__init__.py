@@ -1,0 +1,33 @@
+"""Evaluation: classifiers, metrics, protocols, similarity analysis, t-SNE."""
+
+from .classifiers import (
+    LinearSVMClassifier,
+    LogisticRegressionClassifier,
+    SGDClassifier,
+    make_classifier,
+)
+from .metrics import accuracy, macro_f1, mean_std, roc_auc
+from .protocol import (
+    evaluate_graph_embeddings,
+    evaluate_node_embeddings,
+    kfold_indices,
+    standardize,
+)
+from .similarity import (
+    cosine_similarity,
+    intra_inter_class_similarity,
+    similarity_diversity,
+    sorted_similarity_matrix,
+)
+from .tsne import tsne
+
+__all__ = [
+    "LogisticRegressionClassifier", "LinearSVMClassifier", "SGDClassifier",
+    "make_classifier",
+    "accuracy", "macro_f1", "roc_auc", "mean_std",
+    "standardize", "kfold_indices", "evaluate_graph_embeddings",
+    "evaluate_node_embeddings",
+    "cosine_similarity", "sorted_similarity_matrix", "similarity_diversity",
+    "intra_inter_class_similarity",
+    "tsne",
+]

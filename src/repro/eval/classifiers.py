@@ -1,0 +1,178 @@
+"""Linear classifiers for the evaluation protocol (scikit-learn stand-ins).
+
+The paper evaluates frozen embeddings with an SVM (10-fold CV) on the small
+graph datasets, an SGD classifier on the large ones, and a linear probe
+(logistic regression) for node classification.  We implement all three on
+scipy's L-BFGS / plain minibatch SGD:
+
+* :class:`LogisticRegressionClassifier` — multinomial, L2-regularized;
+* :class:`LinearSVMClassifier` — one-vs-rest squared-hinge SVM;
+* :class:`SGDClassifier` — minibatch logistic SGD for large sample counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["LogisticRegressionClassifier", "LinearSVMClassifier",
+           "SGDClassifier", "make_classifier"]
+
+
+def _one_hot(y: np.ndarray, num_classes: int) -> np.ndarray:
+    out = np.zeros((len(y), num_classes))
+    out[np.arange(len(y)), y] = 1.0
+    return out
+
+
+class _LinearModel:
+    """Shared fit/predict plumbing for the L-BFGS-trained classifiers."""
+
+    def __init__(self, l2: float = 1e-2, max_iter: int = 200):
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.classes_: np.ndarray | None = None
+        self.weight: np.ndarray | None = None  # (d, k)
+        self.bias: np.ndarray | None = None    # (k,)
+
+    def _prepare(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes to fit")
+        index_of = {c: i for i, c in enumerate(self.classes_)}
+        return np.array([index_of[v] for v in y], dtype=np.int64)
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.weight is None:
+            raise RuntimeError("classifier is not fitted")
+        return np.asarray(x, dtype=np.float64) @ self.weight + self.bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(x)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+
+class LogisticRegressionClassifier(_LinearModel):
+    """Multinomial logistic regression trained with L-BFGS."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        y_idx = self._prepare(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        n, d = x.shape
+        k = len(self.classes_)
+        targets = _one_hot(y_idx, k)
+
+        def objective(flat: np.ndarray):
+            w = flat[: d * k].reshape(d, k)
+            b = flat[d * k:]
+            logits = x @ w + b
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            nll = -np.log(probs[np.arange(n), y_idx] + 1e-12).mean()
+            loss = nll + 0.5 * self.l2 * (w ** 2).sum()
+            grad_logits = (probs - targets) / n
+            grad_w = x.T @ grad_logits + self.l2 * w
+            grad_b = grad_logits.sum(axis=0)
+            return loss, np.concatenate([grad_w.ravel(), grad_b])
+
+        start = np.zeros(d * k + k)
+        result = optimize.minimize(objective, start, jac=True,
+                                   method="L-BFGS-B",
+                                   options={"maxiter": self.max_iter})
+        self.weight = result.x[: d * k].reshape(d, k)
+        self.bias = result.x[d * k:]
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        logits = self.decision_function(x)
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LinearSVMClassifier(_LinearModel):
+    """One-vs-rest linear SVM with the squared hinge loss (L-BFGS)."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVMClassifier":
+        y_idx = self._prepare(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        n, d = x.shape
+        k = len(self.classes_)
+        # Targets in {-1, +1} per one-vs-rest problem.
+        signs = 2.0 * _one_hot(y_idx, k) - 1.0
+
+        def objective(flat: np.ndarray):
+            w = flat[: d * k].reshape(d, k)
+            b = flat[d * k:]
+            margins = 1.0 - signs * (x @ w + b)
+            active = np.maximum(margins, 0.0)
+            loss = (active ** 2).mean() + 0.5 * self.l2 * (w ** 2).sum()
+            grad_margin = -2.0 * signs * active / n
+            grad_w = x.T @ grad_margin + self.l2 * w
+            grad_b = grad_margin.sum(axis=0)
+            return loss, np.concatenate([grad_w.ravel(), grad_b])
+
+        start = np.zeros(d * k + k)
+        result = optimize.minimize(objective, start, jac=True,
+                                   method="L-BFGS-B",
+                                   options={"maxiter": self.max_iter})
+        self.weight = result.x[: d * k].reshape(d, k)
+        self.bias = result.x[d * k:]
+        return self
+
+
+class SGDClassifier(_LinearModel):
+    """Minibatch logistic-loss SGD, used for the large datasets in Table IV."""
+
+    def __init__(self, l2: float = 1e-4, epochs: int = 20,
+                 batch_size: int = 64, lr: float = 0.1, seed: int = 0):
+        super().__init__(l2=l2, max_iter=epochs)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SGDClassifier":
+        y_idx = self._prepare(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        n, d = x.shape
+        k = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros((d, k))
+        b = np.zeros(k)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            lr = self.lr / (1.0 + 0.1 * epoch)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                xb, yb = x[idx], y_idx[idx]
+                logits = xb @ w + b
+                logits -= logits.max(axis=1, keepdims=True)
+                exp = np.exp(logits)
+                probs = exp / exp.sum(axis=1, keepdims=True)
+                grad_logits = probs
+                grad_logits[np.arange(len(idx)), yb] -= 1.0
+                grad_logits /= len(idx)
+                w -= lr * (xb.T @ grad_logits + self.l2 * w)
+                b -= lr * grad_logits.sum(axis=0)
+        self.weight, self.bias = w, b
+        return self
+
+
+def make_classifier(kind: str, seed: int = 0):
+    """Factory used by the evaluation protocol ('svm', 'logreg', 'sgd')."""
+    if kind == "svm":
+        return LinearSVMClassifier()
+    if kind == "logreg":
+        return LogisticRegressionClassifier()
+    if kind == "sgd":
+        return SGDClassifier(seed=seed)
+    raise ValueError(f"unknown classifier kind {kind!r}")

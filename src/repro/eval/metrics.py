@@ -1,0 +1,82 @@
+"""Evaluation metrics: accuracy, ROC-AUC, mean/std summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "macro_f1", "roc_auc", "mean_std"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    if len(labels) == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float((predictions == labels).mean())
+
+
+def macro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores.
+
+    Useful for the imbalanced multi-class node/graph datasets (e.g. the
+    11-class RDT-M12K analogue) where accuracy hides minority classes.
+    Classes absent from both predictions and labels are skipped.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    scores = []
+    for c in np.unique(np.concatenate([labels, predictions])):
+        tp = ((predictions == c) & (labels == c)).sum()
+        fp = ((predictions == c) & (labels != c)).sum()
+        fn = ((predictions != c) & (labels == c)).sum()
+        if tp + fp + fn == 0:
+            continue
+        scores.append(2.0 * tp / (2.0 * tp + fp + fn))
+    if not scores:
+        raise ValueError("no classes present")
+    return float(np.mean(scores))
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Binary ROC-AUC via the Mann-Whitney rank statistic.
+
+    ``scores`` are real-valued decision scores for the positive class,
+    ``labels`` in {0, 1}.  Ties receive the midrank, matching sklearn.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if set(np.unique(labels)) - {0, 1}:
+        raise ValueError("labels must be binary 0/1")
+    positives = int(labels.sum())
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC-AUC needs both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    # Midranks for ties.
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[labels == 1].sum()
+    u = rank_sum - positives * (positives + 1) / 2.0
+    return float(u / (positives * negatives))
+
+
+def mean_std(values) -> tuple[float, float]:
+    """Mean and (population) standard deviation of a value list."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("no values to summarize")
+    return float(values.mean()), float(values.std())

@@ -1,0 +1,100 @@
+"""Evaluation protocols mirroring the paper's setups.
+
+* Graph classification: frozen embeddings -> SVM with k-fold CV (SGD
+  classifier for large datasets), repeated over several seeds; report
+  mean ± std accuracy (Table IV protocol).
+* Node classification: frozen node embeddings -> linear probe trained on the
+  transductive train mask, accuracy on the test mask (Table V/VII protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classifiers import make_classifier
+from .metrics import accuracy, mean_std
+
+__all__ = ["standardize", "kfold_indices", "evaluate_graph_embeddings",
+           "evaluate_node_embeddings"]
+
+
+def standardize(train: np.ndarray,
+                *others: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Zero-mean/unit-variance scaling fit on ``train`` only."""
+    mean = train.mean(axis=0, keepdims=True)
+    std = train.std(axis=0, keepdims=True)
+    std[std < 1e-12] = 1.0
+    return tuple((arr - mean) / std for arr in (train, *others))
+
+
+def kfold_indices(n: int, folds: int,
+                  rng: np.random.Generator) -> list[np.ndarray]:
+    """Shuffled, nearly equal-sized fold index arrays."""
+    if folds < 2:
+        raise ValueError(f"need at least 2 folds, got {folds}")
+    if n < folds:
+        raise ValueError(f"cannot split {n} samples into {folds} folds")
+    order = rng.permutation(n)
+    return [np.asarray(chunk) for chunk in np.array_split(order, folds)]
+
+
+def evaluate_graph_embeddings(embeddings: np.ndarray, labels: np.ndarray,
+                              *, classifier: str = "svm", folds: int = 10,
+                              repeats: int = 5,
+                              seed: int = 0) -> tuple[float, float]:
+    """k-fold cross-validated accuracy of a linear classifier, repeated.
+
+    Returns ``(mean, std)`` in percent, the format of the paper's tables.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    run_scores = []
+    for repeat in range(repeats):
+        rng = np.random.default_rng(seed + repeat)
+        fold_list = kfold_indices(len(labels), folds, rng)
+        fold_scores = []
+        for i, test_idx in enumerate(fold_list):
+            train_idx = np.concatenate(
+                [f for j, f in enumerate(fold_list) if j != i])
+            if len(np.unique(labels[train_idx])) < 2:
+                continue  # degenerate fold on tiny datasets
+            x_train, x_test = standardize(embeddings[train_idx],
+                                          embeddings[test_idx])
+            model = make_classifier(classifier, seed=seed + repeat)
+            model.fit(x_train, labels[train_idx])
+            fold_scores.append(accuracy(model.predict(x_test),
+                                        labels[test_idx]))
+        if fold_scores:
+            run_scores.append(float(np.mean(fold_scores)))
+    mean, std = mean_std(run_scores)
+    return 100.0 * mean, 100.0 * std
+
+
+def evaluate_node_embeddings(embeddings: np.ndarray, labels: np.ndarray,
+                             train_mask: np.ndarray, test_mask: np.ndarray,
+                             *, repeats: int = 3,
+                             seed: int = 0) -> tuple[float, float]:
+    """Linear-probe accuracy on the transductive split, repeated.
+
+    The probe itself is deterministic given the data; repeats vary the probe
+    regularization split only through subsampled training masks, matching
+    the small variance the paper reports.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    train_idx = np.flatnonzero(train_mask)
+    test_idx = np.flatnonzero(test_mask)
+    scores = []
+    for repeat in range(repeats):
+        rng = np.random.default_rng(seed + repeat)
+        take = max(2, int(round(len(train_idx) * 0.9)))
+        subset = rng.choice(train_idx, size=take, replace=False)
+        if len(np.unique(labels[subset])) < 2:
+            subset = train_idx
+        x_train, x_test = standardize(embeddings[subset],
+                                      embeddings[test_idx])
+        model = make_classifier("logreg")
+        model.fit(x_train, labels[subset])
+        scores.append(accuracy(model.predict(x_test), labels[test_idx]))
+    mean, std = mean_std(scores)
+    return 100.0 * mean, 100.0 * std

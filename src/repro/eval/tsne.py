@@ -1,0 +1,81 @@
+"""Exact t-SNE on numpy (for the paper's Fig. 2-style visualizations).
+
+A deliberately small, readable implementation: exact pairwise affinities
+(no Barnes-Hut), binary-search perplexity calibration, momentum gradient
+descent with early exaggeration.  Suitable for the few hundred points the
+qualitative figures use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne"]
+
+
+def _conditional_probabilities(distances: np.ndarray,
+                               perplexity: float) -> np.ndarray:
+    """Row-wise affinities with per-point bandwidth matched to perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        row = distances[i].copy()
+        row[i] = np.inf
+        lo, hi = 1e-20, 1e20
+        beta = 1.0
+        for _ in range(50):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                beta = lo = lo * 10
+                continue
+            probs = weights / total
+            entropy = -(probs[probs > 0] * np.log(probs[probs > 0])).sum()
+            if abs(entropy - target_entropy) < 1e-5:
+                break
+            if entropy > target_entropy:
+                lo = beta
+                beta = beta * 2 if hi == 1e20 else 0.5 * (beta + hi)
+            else:
+                hi = beta
+                beta = beta / 2 if lo == 1e-20 else 0.5 * (beta + lo)
+        p[i] = weights / max(weights.sum(), 1e-12)
+    return p
+
+
+def tsne(x: np.ndarray, *, dim: int = 2, perplexity: float = 30.0,
+         iterations: int = 300, learning_rate: float = 100.0,
+         seed: int = 0) -> np.ndarray:
+    """Embed rows of ``x`` into ``dim`` dimensions with exact t-SNE."""
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if n < 4:
+        raise ValueError("t-SNE needs at least 4 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    sq = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=2)
+    p_cond = _conditional_probabilities(sq, perplexity)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    y = 1e-4 * rng.normal(size=(n, dim))
+    velocity = np.zeros_like(y)
+    exaggeration = 4.0
+
+    for step in range(iterations):
+        if step == iterations // 4:
+            exaggeration = 1.0
+        diff = y[:, None, :] - y[None, :, :]
+        dist = (diff ** 2).sum(axis=2)
+        q_num = 1.0 / (1.0 + dist)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        pq = (exaggeration * p - q) * q_num
+        grad = 4.0 * (pq[:, :, None] * diff).sum(axis=1)
+        momentum = 0.5 if step < 100 else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0, keepdims=True)
+    return y

@@ -1,0 +1,9 @@
+"""Graph neural network layers, encoders, readouts, projection heads."""
+
+from .layers import GCNConv, GINConv, SAGEConv
+from .readout import readout
+from .encoders import GCNEncoder, GINEncoder
+from .projection import ProjectionHead
+
+__all__ = ["GCNConv", "GINConv", "SAGEConv", "readout", "GINEncoder",
+           "GCNEncoder", "ProjectionHead"]

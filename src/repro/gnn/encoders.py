@@ -1,0 +1,109 @@
+"""Graph- and node-level encoders used by every contrastive method.
+
+:class:`GINEncoder` matches the encoder GraphCL/JOAO/SimGRACE/InfoGraph use
+(multi-layer GIN with jumping-knowledge concatenation and sum readout);
+:class:`GCNEncoder` matches the two-layer GCN of GRACE/GCA/BGRL/MVGRL for
+node-level tasks.  Both accept feature/adjacency overrides so augmented or
+diffusion views reuse the same weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import GraphBatch
+from ..nn import Module, ModuleList, PReLU
+from ..tensor import Tensor, as_tensor, concat
+from .layers import GCNConv, GINConv
+from .readout import readout
+
+__all__ = ["GINEncoder", "GCNEncoder"]
+
+
+class GINEncoder(Module):
+    """Multi-layer GIN encoder producing node and graph embeddings.
+
+    The graph embedding concatenates the readout of every layer (jumping
+    knowledge), so its dimensionality is ``num_layers * hidden_dim``.
+    """
+
+    def __init__(self, in_features: int, hidden_dim: int, num_layers: int = 3,
+                 *, rng: np.random.Generator, readout_mode: str = "sum",
+                 batch_norm: bool = True):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one GIN layer")
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.readout_mode = readout_mode
+        layers = [GINConv(in_features, hidden_dim, rng=rng,
+                          batch_norm=batch_norm)]
+        layers.extend(GINConv(hidden_dim, hidden_dim, rng=rng,
+                              batch_norm=batch_norm)
+                      for _ in range(num_layers - 1))
+        self.layers = ModuleList(layers)
+
+    @property
+    def out_features(self) -> int:
+        """Dimensionality of the graph embedding (JK concat)."""
+        return self.hidden_dim * self.num_layers
+
+    def node_embeddings(self, x: Tensor, adj: sp.spmatrix) -> list[Tensor]:
+        """Per-layer node embeddings (post-activation)."""
+        outputs = []
+        h = as_tensor(x)
+        for layer in self.layers:
+            h = layer(h, adj).relu()
+            outputs.append(h)
+        return outputs
+
+    def forward(self, batch: GraphBatch, x: Tensor | None = None,
+                adj: sp.spmatrix | None = None) -> tuple[Tensor, Tensor]:
+        """Return ``(node_embedding, graph_embedding)`` for a batch.
+
+        ``x``/``adj`` default to the batch's own features and raw adjacency;
+        pass overrides to encode an augmented view with shared weights.
+        """
+        if x is None:
+            x = Tensor(batch.x)
+        if adj is None:
+            adj = batch.adjacency("none")
+        per_layer = self.node_embeddings(x, adj)
+        pooled = [readout(h, batch.node_to_graph, batch.num_graphs,
+                          self.readout_mode) for h in per_layer]
+        graph_embedding = concat(pooled, axis=1)
+        node_embedding = concat(per_layer, axis=1)
+        return node_embedding, graph_embedding
+
+
+class GCNEncoder(Module):
+    """Two-to-k layer GCN encoder for node-level contrastive methods."""
+
+    def __init__(self, in_features: int, hidden_dim: int, out_dim: int,
+                 num_layers: int = 2, *, rng: np.random.Generator,
+                 activation: str = "prelu"):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one GCN layer")
+        self.out_features = out_dim
+        dims = ([in_features] + [hidden_dim] * (num_layers - 1) + [out_dim])
+        self.layers = ModuleList([
+            GCNConv(dims[i], dims[i + 1], rng=rng)
+            for i in range(num_layers)])
+        if activation == "prelu":
+            self.activations = ModuleList([PReLU() for _ in range(num_layers)])
+        elif activation == "relu":
+            self.activations = None
+        else:
+            raise ValueError(f"unknown activation {activation!r}")
+
+    def forward(self, x: Tensor, adj: sp.spmatrix) -> Tensor:
+        h = as_tensor(x)
+        for i, layer in enumerate(self.layers):
+            h = layer(h, adj)
+            if self.activations is not None:
+                h = self.activations[i](h)
+            else:
+                h = h.relu()
+        return h

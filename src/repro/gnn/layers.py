@@ -1,0 +1,69 @@
+"""Message-passing layers: GCN (Kipf & Welling) and GIN (Xu et al.).
+
+Both operate on a precomputed scipy-sparse adjacency and a dense node-feature
+tensor; aggregation is one sparse matmul, which keeps the autodiff graph
+small and the single-CPU runtime reasonable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn import Linear, MLP, Module, Parameter
+from ..tensor import Tensor, spmm
+
+__all__ = ["GCNConv", "GINConv", "SAGEConv"]
+
+
+class GCNConv(Module):
+    """Graph convolution ``H' = A_norm H W + b``.
+
+    The caller supplies the normalized adjacency (usually
+    ``D^-1/2 (A+I) D^-1/2``) so the same layer works on augmented and
+    diffusion views.
+    """
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=bias, rng=rng)
+
+    def forward(self, x: Tensor, adj: sp.spmatrix) -> Tensor:
+        return self.linear(spmm(adj, x))
+
+
+class GINConv(Module):
+    """Graph isomorphism layer ``H' = MLP((1 + eps) H + A H)``.
+
+    ``eps`` is learned (as in GIN-eps).  The adjacency here should be the raw
+    symmetric adjacency without self loops; the ``(1 + eps)`` term plays the
+    self-connection role.
+    """
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 rng: np.random.Generator, hidden_features: int | None = None,
+                 batch_norm: bool = True):
+        super().__init__()
+        hidden = hidden_features if hidden_features is not None else out_features
+        self.mlp = MLP([in_features, hidden, out_features], rng=rng,
+                       batch_norm=batch_norm)
+        self.eps = Parameter(np.zeros(1))
+
+    def forward(self, x: Tensor, adj: sp.spmatrix) -> Tensor:
+        aggregated = spmm(adj, x)
+        return self.mlp(x * (self.eps + 1.0) + aggregated)
+
+
+class SAGEConv(Module):
+    """GraphSAGE-mean layer ``H' = W_self H + W_neigh (D^-1 A) H``."""
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.self_linear = Linear(in_features, out_features, rng=rng)
+        self.neigh_linear = Linear(in_features, out_features, bias=False,
+                                   rng=rng)
+
+    def forward(self, x: Tensor, adj_row_norm: sp.spmatrix) -> Tensor:
+        return self.self_linear(x) + self.neigh_linear(spmm(adj_row_norm, x))

@@ -1,0 +1,25 @@
+"""Projection heads mapping embeddings into the contrastive space."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Module
+from ..tensor import Tensor
+
+__all__ = ["ProjectionHead"]
+
+
+class ProjectionHead(Module):
+    """Two-layer MLP projection head (SimCLR-style ``Proj`` in the paper)."""
+
+    def __init__(self, in_features: int, out_features: int | None = None, *,
+                 rng: np.random.Generator, hidden_features: int | None = None):
+        super().__init__()
+        out = out_features if out_features is not None else in_features
+        hidden = hidden_features if hidden_features is not None else in_features
+        self.mlp = MLP([in_features, hidden, out], rng=rng)
+        self.out_features = out
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.mlp(x)

@@ -1,0 +1,38 @@
+"""Permutation-invariant graph readouts over block-diagonal batches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, segment_max, segment_mean, segment_sum
+
+__all__ = ["readout"]
+
+_READOUTS = {
+    "sum": segment_sum,
+    "mean": segment_mean,
+    "max": segment_max,
+}
+
+
+def readout(node_embeddings: Tensor, node_to_graph: np.ndarray,
+            num_graphs: int, mode: str = "sum") -> Tensor:
+    """Pool node embeddings into per-graph embeddings.
+
+    Parameters
+    ----------
+    node_embeddings:
+        ``(num_nodes, d)`` tensor from the encoder.
+    node_to_graph:
+        Batch assignment vector mapping each node to its graph index.
+    num_graphs:
+        Number of graphs in the batch.
+    mode:
+        One of ``"sum"`` (GIN default), ``"mean"``, ``"max"``.
+    """
+    try:
+        fn = _READOUTS[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown readout {mode!r}; choose from {sorted(_READOUTS)}")
+    return fn(node_embeddings, node_to_graph, num_graphs)

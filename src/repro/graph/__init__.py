@@ -1,0 +1,27 @@
+"""Graph data structures, batching, adjacency, and diffusion."""
+
+from .graph import Graph
+from .batch import GraphBatch
+from .adjacency import (
+    add_self_loops,
+    adjacency_matrix,
+    gcn_normalize,
+    row_normalize,
+)
+from .diffusion import heat_diffusion, ppr_diffusion, sparsify_top_k
+from .loader import GraphLoader
+from .stats import (
+    clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    density,
+    graph_summary,
+)
+
+__all__ = [
+    "Graph", "GraphBatch", "GraphLoader",
+    "adjacency_matrix", "gcn_normalize", "row_normalize", "add_self_loops",
+    "ppr_diffusion", "heat_diffusion", "sparsify_top_k",
+    "density", "clustering_coefficient", "degree_histogram",
+    "connected_components", "graph_summary",
+]

@@ -1,0 +1,48 @@
+"""Sparse adjacency construction and normalizations for message passing."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = ["adjacency_matrix", "gcn_normalize", "row_normalize",
+           "add_self_loops"]
+
+
+def adjacency_matrix(graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
+    """Symmetric sparse adjacency (both edge directions materialized)."""
+    n = graph.num_nodes
+    if graph.num_edges:
+        rows = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
+        cols = np.concatenate([graph.edges[:, 1], graph.edges[:, 0]])
+        data = np.ones(len(rows), dtype=np.float64)
+        adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    else:
+        adj = sp.csr_matrix((n, n), dtype=np.float64)
+    if self_loops:
+        adj = add_self_loops(adj)
+    return adj
+
+
+def add_self_loops(adj: sp.spmatrix) -> sp.csr_matrix:
+    """Return ``A + I``."""
+    return (adj + sp.identity(adj.shape[0], format="csr")).tocsr()
+
+
+def gcn_normalize(adj: sp.spmatrix, self_loops: bool = True) -> sp.csr_matrix:
+    """Kipf-GCN symmetric normalization ``D^-1/2 (A + I) D^-1/2``."""
+    if self_loops:
+        adj = add_self_loops(adj)
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.where(degrees > 0, degrees ** -0.5, 0.0)
+    d_inv = sp.diags(inv_sqrt)
+    return (d_inv @ adj @ d_inv).tocsr()
+
+
+def row_normalize(adj: sp.spmatrix) -> sp.csr_matrix:
+    """Random-walk normalization ``D^-1 A``."""
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    return (sp.diags(inv) @ adj).tocsr()

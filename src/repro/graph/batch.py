@@ -1,0 +1,71 @@
+"""Block-diagonal batching of graphs, mirroring PyG's ``Batch``.
+
+Contrastive methods process minibatches of graphs in one forward pass; the
+batch concatenates node features, offsets edge indices, and keeps a
+``node_to_graph`` vector so readout can segment node embeddings back into
+per-graph embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .adjacency import adjacency_matrix, gcn_normalize
+from .graph import Graph
+
+__all__ = ["GraphBatch"]
+
+
+class GraphBatch:
+    """A batch of graphs merged into one disconnected graph."""
+
+    def __init__(self, graphs: Sequence[Graph]):
+        if not graphs:
+            raise ValueError("cannot batch an empty list of graphs")
+        self.graphs = list(graphs)
+        self.num_graphs = len(graphs)
+        sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+        self.node_offsets = np.concatenate([[0], np.cumsum(sizes)])
+        self.num_nodes = int(self.node_offsets[-1])
+        self.x = np.concatenate([g.x for g in graphs], axis=0)
+        self.node_to_graph = np.repeat(np.arange(self.num_graphs), sizes)
+        shifted = [g.edges + off
+                   for g, off in zip(graphs, self.node_offsets[:-1])
+                   if g.num_edges]
+        self.edges = (np.concatenate(shifted, axis=0) if shifted
+                      else np.empty((0, 2), dtype=np.int64))
+        self.labels = np.array(
+            [(-1 if g.y is None else g.y) for g in graphs], dtype=np.int64)
+        self._adj_cache: dict[str, sp.csr_matrix] = {}
+
+    @property
+    def num_features(self) -> int:
+        return self.x.shape[1]
+
+    def _as_graph(self) -> Graph:
+        return Graph(self.num_nodes, self.edges, self.x)
+
+    def adjacency(self, normalization: str = "gcn") -> sp.csr_matrix:
+        """Return the (cached) block-diagonal adjacency.
+
+        ``normalization`` is one of ``"none"`` (raw symmetric A), ``"gcn"``
+        (``D^-1/2 (A+I) D^-1/2``), or ``"self_loops"`` (``A + I``).
+        """
+        if normalization not in ("none", "gcn", "self_loops"):
+            raise ValueError(f"unknown normalization: {normalization!r}")
+        if normalization not in self._adj_cache:
+            raw = adjacency_matrix(self._as_graph())
+            if normalization == "none":
+                self._adj_cache[normalization] = raw
+            elif normalization == "self_loops":
+                from .adjacency import add_self_loops
+                self._adj_cache[normalization] = add_self_loops(raw)
+            else:
+                self._adj_cache[normalization] = gcn_normalize(raw)
+        return self._adj_cache[normalization]
+
+    def graph_sizes(self) -> np.ndarray:
+        return np.diff(self.node_offsets)

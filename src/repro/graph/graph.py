@@ -1,0 +1,133 @@
+"""The in-memory graph container used throughout the library.
+
+A :class:`Graph` stores node features, an undirected edge list, and an
+optional label — the same information PyG's ``Data`` object carries for the
+paper's workloads.  Edges are stored canonically (each undirected edge once,
+``u < v``); adjacency construction materializes both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+@dataclass
+class Graph:
+    """An attributed, undirected graph.
+
+    Attributes
+    ----------
+    num_nodes:
+        Node count; node ids are ``0..num_nodes-1``.
+    edges:
+        Integer array of shape ``(E, 2)`` with each undirected edge stored
+        once (``u < v``, no self loops, no duplicates).
+    x:
+        Node feature matrix of shape ``(num_nodes, d)``.
+    y:
+        Optional integer class label (graph-level tasks) or ``None``.
+    node_y:
+        Optional per-node labels of shape ``(num_nodes,)`` (node-level tasks).
+    """
+
+    num_nodes: int
+    edges: np.ndarray
+    x: np.ndarray
+    y: int | None = None
+    node_y: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.edges = np.asarray(self.edges, dtype=np.int64).reshape(-1, 2)
+        self.x = np.asarray(self.x, dtype=np.float64)
+        if self.x.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"feature rows ({self.x.shape[0]}) != num_nodes "
+                f"({self.num_nodes})")
+        if self.edges.size and self.edges.max() >= self.num_nodes:
+            raise ValueError("edge endpoint out of range")
+        if self.edges.size and (self.edges[:, 0] == self.edges[:, 1]).any():
+            raise ValueError("self loops are not allowed in the edge list")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.edges)
+
+    @property
+    def num_features(self) -> int:
+        return self.x.shape[1]
+
+    def degrees(self) -> np.ndarray:
+        """Undirected node degrees."""
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        if self.edges.size:
+            np.add.at(deg, self.edges[:, 0], 1)
+            np.add.at(deg, self.edges[:, 1], 1)
+        return deg
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Canonical (u < v) edge tuples as a set."""
+        return {(int(min(u, v)), int(max(u, v))) for u, v in self.edges}
+
+    def copy(self) -> "Graph":
+        return Graph(self.num_nodes, self.edges.copy(), self.x.copy(),
+                     self.y,
+                     None if self.node_y is None else self.node_y.copy())
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def canonical_edges(edges: np.ndarray) -> np.ndarray:
+        """Deduplicate and canonicalize an edge array to (u < v) form."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size == 0:
+            return edges
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        lo = edges.min(axis=1)
+        hi = edges.max(axis=1)
+        canonical = np.stack([lo, hi], axis=1)
+        return np.unique(canonical, axis=0)
+
+    @classmethod
+    def from_networkx(cls, g: nx.Graph, x: np.ndarray | None = None,
+                      y: int | None = None) -> "Graph":
+        """Build from a networkx graph (nodes relabelled to 0..n-1)."""
+        g = nx.convert_node_labels_to_integers(g)
+        n = g.number_of_nodes()
+        edges = cls.canonical_edges(np.array(list(g.edges()), dtype=np.int64)
+                                    if g.number_of_edges() else
+                                    np.empty((0, 2), dtype=np.int64))
+        if x is None:
+            # Default feature: normalized degree (one column), a common
+            # fallback for featureless social-network datasets.
+            deg = np.zeros(n)
+            for node, d in g.degree():
+                deg[node] = d
+            x = deg.reshape(-1, 1) / max(deg.max(), 1.0)
+        return cls(n, edges, x, y)
+
+    def to_networkx(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(map(tuple, self.edges))
+        return g
+
+    def subgraph(self, nodes: np.ndarray) -> "Graph":
+        """Induced subgraph on ``nodes`` (relabelled to 0..k-1)."""
+        nodes = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
+        index_of = {int(old): new for new, old in enumerate(nodes)}
+        keep = [(index_of[int(u)], index_of[int(v)]) for u, v in self.edges
+                if int(u) in index_of and int(v) in index_of]
+        edges = (np.array(keep, dtype=np.int64) if keep
+                 else np.empty((0, 2), dtype=np.int64))
+        node_y = None if self.node_y is None else self.node_y[nodes]
+        return Graph(len(nodes), edges, self.x[nodes], self.y, node_y)

@@ -1,0 +1,37 @@
+"""Minibatch iteration over graph datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .batch import GraphBatch
+from .graph import Graph
+
+__all__ = ["GraphLoader"]
+
+
+class GraphLoader:
+    """Yield :class:`GraphBatch` minibatches, optionally shuffled per epoch."""
+
+    def __init__(self, graphs: Sequence[Graph], batch_size: int,
+                 shuffle: bool = True,
+                 rng: np.random.Generator | None = None):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.graphs = list(graphs)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        return (len(self.graphs) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[GraphBatch]:
+        order = np.arange(len(self.graphs))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            yield GraphBatch([self.graphs[i] for i in chunk])

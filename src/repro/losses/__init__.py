@@ -1,0 +1,21 @@
+"""Contrastive and reconstruction losses plus representation-quality metrics."""
+
+from .infonce import info_nce, nt_xent, similarity_matrix
+from .hard_negative import hard_negative_info_nce
+from .jsd import jsd_bipartite_loss, jsd_loss
+from .sce import sce_loss
+from .bootstrap import bootstrap_cosine_loss
+from .align_uniform import (
+    alignment_loss,
+    alignment_value,
+    uniformity_loss,
+    uniformity_value,
+)
+
+__all__ = [
+    "info_nce", "nt_xent", "similarity_matrix", "hard_negative_info_nce",
+    "jsd_loss", "jsd_bipartite_loss",
+    "sce_loss", "bootstrap_cosine_loss",
+    "alignment_loss", "uniformity_loss", "alignment_value",
+    "uniformity_value",
+]

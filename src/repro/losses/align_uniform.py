@@ -1,0 +1,54 @@
+"""Alignment and uniformity metrics (Wang & Isola; paper Eq. 24-25).
+
+These diagnose representation quality: alignment measures how close positive
+pairs sit, uniformity measures how evenly embeddings spread on the unit
+hypersphere.  The paper's Fig. 7 tracks both during training, and Fig. 12(b)
+uses the alignment term directly as a baseline regularizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, l2_normalize, pairwise_sqdist
+
+__all__ = ["alignment_loss", "uniformity_loss", "alignment_value",
+           "uniformity_value"]
+
+
+def alignment_loss(u: Tensor, v: Tensor, alpha: float = 2.0) -> Tensor:
+    """Expected positive-pair distance ``E ||u - v||^alpha`` (Eq. 24).
+
+    Inputs are L2-normalized first, matching the hypersphere setting.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    diff = l2_normalize(u) - l2_normalize(v)
+    sq = (diff * diff).sum(axis=1)
+    if alpha == 2.0:
+        return sq.mean()
+    return ((sq + 1e-12) ** (alpha / 2.0)).mean()
+
+
+def uniformity_loss(u: Tensor, t: float = 2.0) -> Tensor:
+    """Log expected Gaussian potential between random pairs (Eq. 25)."""
+    if t <= 0:
+        raise ValueError(f"t must be positive, got {t}")
+    z = l2_normalize(u)
+    n = len(z)
+    if n < 2:
+        raise ValueError("uniformity needs at least 2 samples")
+    sq = pairwise_sqdist(z, z)
+    off_diag = ~np.eye(n, dtype=bool)
+    potentials = (sq * -t).exp()[off_diag]
+    return potentials.mean().log()
+
+
+def alignment_value(u: np.ndarray, v: np.ndarray, alpha: float = 2.0) -> float:
+    """Numpy convenience wrapper returning a float (for logging curves)."""
+    return alignment_loss(Tensor(u), Tensor(v), alpha).item()
+
+
+def uniformity_value(u: np.ndarray, t: float = 2.0) -> float:
+    """Numpy convenience wrapper returning a float (for logging curves)."""
+    return uniformity_loss(Tensor(u), t).item()

@@ -1,0 +1,20 @@
+"""Negative-free bootstrap losses (BGRL / SGCL).
+
+BGRL predicts the target network's embedding from the online network's and
+minimizes ``2 - 2 cos(prediction, target)``; no negatives are involved.
+"""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, l2_normalize
+
+__all__ = ["bootstrap_cosine_loss"]
+
+
+def bootstrap_cosine_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """BGRL loss ``mean_i (2 - 2 cos(p_i, z_i))``; ``target`` is detached."""
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {prediction.shape} vs {target.shape}")
+    cos = (l2_normalize(prediction) * l2_normalize(target.detach())).sum(axis=1)
+    return (2.0 - 2.0 * cos).mean()

@@ -1,0 +1,56 @@
+"""Jensen-Shannon divergence MI estimator (InfoGraph / MVGRL objective).
+
+The JSD estimator scores positive pairs with ``-softplus(-T)`` and negative
+pairs with ``-softplus(T)``; maximizing the gap maximizes a JSD-based lower
+bound on mutual information.  We expose it both as a paired-view loss (like
+InfoNCE) and as a masked bipartite loss for local-global (node-graph)
+contrast, which is how InfoGraph and MVGRL use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["jsd_loss", "jsd_bipartite_loss"]
+
+
+def jsd_loss(u: Tensor, v: Tensor) -> Tensor:
+    """Paired-view JSD loss: diagonal pairs positive, off-diagonal negative."""
+    if u.shape != v.shape:
+        raise ValueError(f"view shapes differ: {u.shape} vs {v.shape}")
+    n = len(u)
+    if n < 2:
+        raise ValueError("JSD loss needs at least 2 samples for negatives")
+    scores = u @ v.T
+    positive_mask = np.eye(n, dtype=bool)
+    return _masked_jsd(scores, positive_mask)
+
+
+def jsd_bipartite_loss(local: Tensor, global_: Tensor,
+                       positive_mask: np.ndarray) -> Tensor:
+    """Local-global JSD loss over an arbitrary positive-pair mask.
+
+    ``positive_mask[i, j]`` is True when local unit ``i`` (e.g. a node)
+    belongs to global unit ``j`` (e.g. its graph).
+    """
+    scores = local @ global_.T
+    return _masked_jsd(scores, positive_mask)
+
+
+def _masked_jsd(scores: Tensor, positive_mask: np.ndarray) -> Tensor:
+    """JSD objective on a score matrix with a boolean positive mask."""
+    positive_mask = np.asarray(positive_mask, dtype=bool)
+    if positive_mask.shape != scores.shape:
+        raise ValueError("mask shape must match score matrix shape")
+    num_pos = positive_mask.sum()
+    num_neg = positive_mask.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        raise ValueError("JSD needs both positive and negative pairs")
+    pos_weight = Tensor(positive_mask.astype(np.float64) / num_pos)
+    neg_weight = Tensor((~positive_mask).astype(np.float64) / num_neg)
+    # E_pos[softplus(-T)] + E_neg[softplus(T)], the (negated) JSD MI bound.
+    expectation_pos = ((-scores).softplus() * pos_weight).sum()
+    expectation_neg = (scores.softplus() * neg_weight).sum()
+    return expectation_pos + expectation_neg

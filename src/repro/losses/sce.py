@@ -1,0 +1,24 @@
+"""Scaled cosine error — GraphMAE's reconstruction loss.
+
+SCE is *not* a contrastive loss; the paper's Fig. 11 ablation shows GradGCL
+does not help it (there is no positive/negative structure for gradients to
+soften).  We implement it so that ablation can be reproduced.
+"""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, l2_normalize
+
+__all__ = ["sce_loss"]
+
+
+def sce_loss(reconstruction: Tensor, target: Tensor,
+             gamma: float = 2.0) -> Tensor:
+    """Scaled cosine error ``mean((1 - cos(x, x_hat))^gamma)``."""
+    if reconstruction.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: {reconstruction.shape} vs {target.shape}")
+    if gamma < 1:
+        raise ValueError(f"gamma must be >= 1, got {gamma}")
+    cos = (l2_normalize(reconstruction) * l2_normalize(target)).sum(axis=1)
+    return ((1.0 - cos) ** gamma).mean()

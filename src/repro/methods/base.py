@@ -1,0 +1,97 @@
+"""Base classes for graph- and node-level contrastive methods.
+
+Every method owns an encoder, a projection head, and a *contrastive
+objective* (:class:`repro.core.ContrastiveObjective`).  GradGCL plugs in by
+wrapping the objective (see :func:`repro.core.gradgcl`); methods whose loss
+is not a simple paired-view contrast (InfoGraph, MVGRL, BGRL, GraphMAE)
+override :meth:`training_loss` and use :meth:`combine_with_gradients` to stay
+compatible with the plug-in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core import GradGCLObjective
+from ..graph import Graph, GraphBatch
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+
+__all__ = ["GraphContrastiveMethod", "NodeContrastiveMethod"]
+
+
+class GraphContrastiveMethod(Module):
+    """A self-supervised method producing graph-level embeddings."""
+
+    name = "graph-method"
+
+    def training_loss(self, batch: GraphBatch) -> Tensor:
+        """One minibatch's training loss (training mode assumed)."""
+        raise NotImplementedError
+
+    def graph_embeddings(self, batch: GraphBatch) -> Tensor:
+        """Un-augmented graph embeddings used for downstream evaluation."""
+        raise NotImplementedError
+
+    def embed(self, graphs: Sequence[Graph], batch_size: int = 128) -> np.ndarray:
+        """Embed graphs in eval mode with no autograd graph."""
+        self.eval()
+        chunks = []
+        with no_grad():
+            for start in range(0, len(graphs), batch_size):
+                batch = GraphBatch(list(graphs[start:start + batch_size]))
+                chunks.append(self.graph_embeddings(batch).data)
+        self.train()
+        return np.concatenate(chunks, axis=0)
+
+    # ------------------------------------------------------------------
+    # GradGCL compatibility for non-paired losses
+    # ------------------------------------------------------------------
+    def combine_with_gradients(
+            self, base_loss_fn: Callable[[], Tensor],
+            gradient_loss_fn: Callable[[], Tensor]) -> Tensor:
+        """Apply Eq. 18 when the objective is GradGCL-wrapped.
+
+        ``base_loss_fn`` computes the method's own ``l_f``;
+        ``gradient_loss_fn`` computes the method-specific ``l_g``.  Both are
+        lazy so the a=0 / a=1 endpoints skip the unused branch entirely.
+        """
+        objective = self.objective
+        if not isinstance(objective, GradGCLObjective):
+            return base_loss_fn()
+        total = None
+        if objective.weight < 1.0:
+            total = base_loss_fn() * (1.0 - objective.weight)
+        if objective.weight > 0.0:
+            term = gradient_loss_fn() * objective.weight
+            total = term if total is None else total + term
+        return total
+
+    def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
+        """Hook for schedule updates (JOAO's augmentation distribution)."""
+
+
+class NodeContrastiveMethod(Module):
+    """A self-supervised method producing node-level embeddings."""
+
+    name = "node-method"
+
+    def training_loss(self, graph: Graph) -> Tensor:
+        raise NotImplementedError
+
+    def node_embeddings(self, graph: Graph) -> Tensor:
+        raise NotImplementedError
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        self.eval()
+        with no_grad():
+            out = self.node_embeddings(graph).data
+        self.train()
+        return out
+
+    combine_with_gradients = GraphContrastiveMethod.combine_with_gradients
+
+    def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
+        """Hook for schedule updates (e.g. BGRL's EMA momentum)."""

@@ -1,0 +1,150 @@
+"""BGRL (Thakoor et al. 2021) and SGCL (Sun et al. 2023) bootstrap methods.
+
+BGRL has no negatives: an online encoder + predictor chases an EMA target
+encoder across two augmented views (both directions).  SGCL is the
+"rethinking/simplifying" variant: same bootstrap structure with the EMA
+target replaced by a stop-gradient copy of the online encoder.
+
+GradGCL attachment: the paired channel is (prediction, target) per node;
+gradient features come from
+:func:`repro.core.bootstrap_gradient_features`, and the two directions'
+gradient sets are contrasted with InfoNCE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..augment import Augmentation, Compose, EdgePerturb, FeatureColumnDrop
+from ..core import ContrastiveObjective, GradGCLObjective
+from ..core import bootstrap_gradient_features
+from ..gnn import GCNEncoder, ProjectionHead
+from ..graph import Graph, adjacency_matrix, gcn_normalize
+from ..losses import bootstrap_cosine_loss, info_nce
+from ..tensor import Tensor, no_grad
+from .base import NodeContrastiveMethod
+
+__all__ = ["BGRL", "SGCL", "BootstrapObjective"]
+
+
+class BootstrapObjective(ContrastiveObjective):
+    """Cosine bootstrap loss with Eq. 6-style gradient features."""
+
+    def loss(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return bootstrap_cosine_loss(prediction, target)
+
+    def gradient_features(self, prediction: Tensor,
+                          target: Tensor) -> tuple[Tensor, Tensor]:
+        # One gradient set per (prediction, target) direction is produced by
+        # the method itself; here we pair the prediction gradient with the
+        # (constant) normalized target as its reference channel.
+        grad = bootstrap_gradient_features(prediction, target)
+        return grad, grad
+
+
+class BGRL(NodeContrastiveMethod):
+    """BGRL with EMA target network."""
+
+    name = "BGRL"
+
+    def __init__(self, in_features: int, hidden_dim: int = 64,
+                 out_dim: int = 32, *, rng: np.random.Generator,
+                 momentum: float = 0.99, max_anchors: int = 256,
+                 objective: ContrastiveObjective | None = None,
+                 view1: Augmentation | None = None,
+                 view2: Augmentation | None = None):
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.encoder = GCNEncoder(in_features, hidden_dim, out_dim, rng=rng)
+        self.predictor = ProjectionHead(out_dim, rng=rng)
+        self.target_encoder = self.encoder.clone()
+        self.momentum = momentum
+        self.max_anchors = max_anchors
+        self.objective = (objective if objective is not None
+                          else BootstrapObjective())
+        self.view1 = view1 if view1 is not None else self._default_view()
+        self.view2 = view2 if view2 is not None else self._default_view()
+        self._rng = rng
+
+    @staticmethod
+    def _default_view() -> Augmentation:
+        return Compose([EdgePerturb(0.3, add_edges=False),
+                        FeatureColumnDrop(0.2)])
+
+    def _online(self, graph: Graph, augmentation: Augmentation) -> Tensor:
+        view = augmentation(graph, self._rng)
+        adj = gcn_normalize(adjacency_matrix(view))
+        return self.predictor(self.encoder(Tensor(view.x), adj))
+
+    def _target(self, graph: Graph, augmentation: Augmentation) -> Tensor:
+        view = augmentation(graph, self._rng)
+        adj = gcn_normalize(adjacency_matrix(view))
+        with no_grad():
+            out = self.target_encoder(Tensor(view.x), adj)
+        return Tensor(out.data)
+
+    def _anchor_subset(self, n: int) -> np.ndarray | None:
+        if n <= self.max_anchors:
+            return None
+        anchors = self._rng.choice(n, size=self.max_anchors, replace=False)
+        anchors.sort()
+        return anchors
+
+    def training_loss(self, graph: Graph) -> Tensor:
+        p1 = self._online(graph, self.view1)
+        p2 = self._online(graph, self.view2)
+        z1 = self._target(graph, self.view1)
+        z2 = self._target(graph, self.view2)
+        anchors = self._anchor_subset(graph.num_nodes)
+        if anchors is not None:
+            p1, p2, z1, z2 = p1[anchors], p2[anchors], z1[anchors], z2[anchors]
+
+        def base_loss():
+            return (bootstrap_cosine_loss(p1, z2)
+                    + bootstrap_cosine_loss(p2, z1))
+
+        def gradient_loss():
+            objective = self.objective
+            assert isinstance(objective, GradGCLObjective)
+            g1 = bootstrap_gradient_features(p1, z2)
+            g2 = bootstrap_gradient_features(p2, z1)
+            if objective.detach_features:
+                g1, g2 = g1.detach(), g2.detach()
+            return info_nce(g1, g2, tau=objective.grad_tau,
+                            sim=objective.grad_sim)
+
+        return self.combine_with_gradients(base_loss, gradient_loss)
+
+    def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
+        """EMA update of the target network."""
+        online = self.encoder.state_dict()
+        target = self.target_encoder.state_dict()
+        updated = {name: self.momentum * target[name]
+                   + (1.0 - self.momentum) * online[name]
+                   for name in online}
+        self.target_encoder.load_state_dict(updated)
+
+    def node_embeddings(self, graph: Graph) -> Tensor:
+        adj = gcn_normalize(adjacency_matrix(graph))
+        return self.encoder(Tensor(graph.x), adj)
+
+
+class SGCL(BGRL):
+    """Simplified bootstrapped GCL: stop-gradient target, no EMA."""
+
+    name = "SGCL"
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("momentum", 0.0)
+        super().__init__(*args, **kwargs)
+
+    def _target(self, graph: Graph, augmentation: Augmentation) -> Tensor:
+        view = augmentation(graph, self._rng)
+        adj = gcn_normalize(adjacency_matrix(view))
+        with no_grad():
+            out = self.encoder(Tensor(view.x), adj)  # stop-grad online copy
+        return Tensor(out.data)
+
+    def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
+        """No target network to maintain."""

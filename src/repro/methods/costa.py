@@ -1,0 +1,68 @@
+"""COSTA (Zhang et al. 2022): covariance-preserving feature augmentation.
+
+Instead of augmenting the graph, COSTA augments in *feature space*: the
+second view is a random sketch ``H' = (1/sqrt(k)) R H`` of the embedding
+matrix, which approximately preserves the embedding covariance.  We use a
+square Johnson-Lindenstrauss sketch (k = N) so node pairing is preserved for
+the InfoNCE loss, the single-view "COSTA-SV" variant of the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ContrastiveObjective, InfoNCEObjective
+from ..gnn import GCNEncoder, ProjectionHead
+from ..graph import Graph, adjacency_matrix, gcn_normalize
+from ..tensor import Tensor
+from .base import NodeContrastiveMethod
+
+__all__ = ["COSTA"]
+
+
+class COSTA(NodeContrastiveMethod):
+    """COSTA-SV with a pluggable objective (GradGCL-ready)."""
+
+    name = "COSTA"
+
+    def __init__(self, in_features: int, hidden_dim: int = 64,
+                 out_dim: int = 32, *, rng: np.random.Generator,
+                 sketch_strength: float = 0.5,
+                 objective: ContrastiveObjective | None = None,
+                 tau: float = 0.5, max_anchors: int = 256):
+        super().__init__()
+        self.encoder = GCNEncoder(in_features, hidden_dim, out_dim, rng=rng)
+        self.projector = ProjectionHead(out_dim, rng=rng)
+        self.objective = (objective if objective is not None
+                          else InfoNCEObjective(tau=tau, sim="cos"))
+        self.sketch_strength = sketch_strength
+        self.max_anchors = max_anchors
+        self._rng = rng
+
+    def _sketch(self, h: Tensor) -> Tensor:
+        """Covariance-preserving random mixing ``(I + s G / sqrt(n)) H``."""
+        n = len(h)
+        mixing = (np.eye(n) + self.sketch_strength
+                  * self._rng.normal(size=(n, n)) / np.sqrt(n))
+        return Tensor(mixing) @ h
+
+    def project_views(self, graph: Graph) -> tuple[Tensor, Tensor]:
+        adj = gcn_normalize(adjacency_matrix(graph))
+        h = self.encoder(Tensor(graph.x), adj)
+        n = graph.num_nodes
+        if n > self.max_anchors:
+            anchors = self._rng.choice(n, size=self.max_anchors,
+                                       replace=False)
+            anchors.sort()
+            h = h[anchors]
+        u = self.projector(h)
+        v = self.projector(self._sketch(h))
+        return u, v
+
+    def training_loss(self, graph: Graph) -> Tensor:
+        u, v = self.project_views(graph)
+        return self.objective.loss(u, v)
+
+    def node_embeddings(self, graph: Graph) -> Tensor:
+        adj = gcn_normalize(adjacency_matrix(graph))
+        return self.encoder(Tensor(graph.x), adj)

@@ -1,0 +1,88 @@
+"""DGI (Velickovic et al. 2019): Deep Graph Infomax.
+
+The ancestor of the node-level contrastive family and a Table V baseline:
+maximize MI between node embeddings and a global summary vector, using
+feature-shuffled corruptions as negatives, with the JSD objective.
+
+GradGCL attachment mirrors MVGRLNode's: gradient features of the JSD score
+between nodes and the summary, contrasted with InfoNCE against a second
+corruption sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ContrastiveObjective, GradGCLObjective, JSDObjective
+from ..gnn import GCNEncoder
+from ..graph import Graph, adjacency_matrix, gcn_normalize
+from ..losses import info_nce, jsd_bipartite_loss
+from ..tensor import Tensor, concat
+from .base import NodeContrastiveMethod
+
+__all__ = ["DGI"]
+
+
+class DGI(NodeContrastiveMethod):
+    """Deep Graph Infomax with a GradGCL-compatible objective."""
+
+    name = "DGI"
+
+    def __init__(self, in_features: int, hidden_dim: int = 64,
+                 out_dim: int = 32, *, rng: np.random.Generator,
+                 objective: ContrastiveObjective | None = None,
+                 max_anchors: int = 256):
+        super().__init__()
+        self.encoder = GCNEncoder(in_features, hidden_dim, out_dim,
+                                  num_layers=1, rng=rng)
+        self.objective = objective if objective is not None else JSDObjective()
+        self.max_anchors = max_anchors
+        self._rng = rng
+
+    def _encode(self, graph: Graph, features: np.ndarray) -> Tensor:
+        adj = gcn_normalize(adjacency_matrix(graph))
+        return self.encoder(Tensor(features), adj)
+
+    def _corrupted(self, graph: Graph) -> np.ndarray:
+        perm = self._rng.permutation(graph.num_nodes)
+        return graph.x[perm]
+
+    def training_loss(self, graph: Graph) -> Tensor:
+        positive = self._encode(graph, graph.x)
+        negative = self._encode(graph, self._corrupted(graph))
+        summary = positive.mean(axis=0, keepdims=True).sigmoid()
+        n = graph.num_nodes
+        local = concat([positive, negative], axis=0)
+        mask = np.concatenate([np.ones((n, 1), dtype=bool),
+                               np.zeros((n, 1), dtype=bool)], axis=0)
+
+        def base_loss():
+            return jsd_bipartite_loss(local, summary, mask)
+
+        def gradient_loss():
+            objective = self.objective
+            assert isinstance(objective, GradGCLObjective)
+            # Gradient channel: per-node JSD gradients from two independent
+            # corruption draws form the paired views.
+            negative2 = self._encode(graph, self._corrupted(graph))
+            anchors = self._subsample(n)
+            g1, _ = JSDObjective().gradient_features(positive[anchors],
+                                                     negative[anchors])
+            g2, _ = JSDObjective().gradient_features(positive[anchors],
+                                                     negative2[anchors])
+            if objective.detach_features:
+                g1, g2 = g1.detach(), g2.detach()
+            return info_nce(g1, g2, tau=objective.grad_tau,
+                            sim=objective.grad_sim)
+
+        return self.combine_with_gradients(base_loss, gradient_loss)
+
+    def _subsample(self, n: int) -> np.ndarray:
+        if n <= self.max_anchors:
+            return np.arange(n)
+        anchors = self._rng.choice(n, size=self.max_anchors, replace=False)
+        anchors.sort()
+        return anchors
+
+    def node_embeddings(self, graph: Graph) -> Tensor:
+        return self._encode(graph, graph.x)

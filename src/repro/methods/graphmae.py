@@ -1,0 +1,117 @@
+"""GraphMAE (Hou et al. 2022): generative masked-autoencoder baseline.
+
+GraphMAE masks node features with a learnable token, encodes with a GIN,
+re-masks the encoded embeddings, and decodes back to the input features with
+the scaled cosine error (SCE).  It appears in the paper's Fig. 11 ablation:
+SCE is a reconstruction loss with no positive/negative structure, so adding
+GradGCL's gradient term *degrades* it — a negative result we reproduce.
+
+GradGCL attachment (for the ablation only): gradient features of the SCE
+loss under two independent mask samplings are contrasted with InfoNCE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ContrastiveObjective, GradGCLObjective
+from ..gnn import GINEncoder
+from ..graph import GraphBatch
+from ..losses import info_nce, sce_loss
+from ..nn import MLP, Parameter
+from ..tensor import Tensor, dot_rows, l2_normalize
+from .base import GraphContrastiveMethod
+
+__all__ = ["GraphMAE"]
+
+
+class _SCEObjective(ContrastiveObjective):
+    """Marker objective so GradGCL wrapping works on GraphMAE."""
+
+    def loss(self, u: Tensor, v: Tensor) -> Tensor:
+        return sce_loss(u, v)
+
+    def gradient_features(self, u: Tensor, v: Tensor) -> tuple[Tensor, Tensor]:
+        return _sce_gradient_features(u, v), _sce_gradient_features(v, u)
+
+
+def _sce_gradient_features(reconstruction: Tensor, target: Tensor,
+                           gamma: float = 2.0) -> Tensor:
+    """Closed-form d(SCE)/d(reconstruction rows), differentiable."""
+    r_hat = l2_normalize(reconstruction)
+    t_hat = l2_normalize(target.detach())
+    cos = dot_rows(r_hat, t_hat).reshape(-1, 1)
+    norms = ((reconstruction * reconstruction)
+             .sum(axis=1, keepdims=True) + 1e-12).sqrt()
+    # d(1-cos)^g/dr = -g (1-cos)^(g-1) * (t_hat - cos r_hat) / |r|
+    scale = (1.0 - cos).clip(low=0.0) ** (gamma - 1.0) * gamma
+    return (r_hat * cos - t_hat) * scale / norms
+
+
+class GraphMAE(GraphContrastiveMethod):
+    """Masked graph autoencoder with SCE reconstruction."""
+
+    name = "GraphMAE"
+
+    def __init__(self, in_features: int, hidden_dim: int = 32,
+                 num_layers: int = 2, *, rng: np.random.Generator,
+                 mask_ratio: float = 0.3, gamma: float = 2.0,
+                 objective: ContrastiveObjective | None = None):
+        super().__init__()
+        if not 0.0 < mask_ratio < 1.0:
+            raise ValueError(f"mask_ratio must be in (0, 1), got {mask_ratio}")
+        self.encoder = GINEncoder(in_features, hidden_dim, num_layers,
+                                  rng=rng)
+        self.mask_token = Parameter(np.zeros(in_features))
+        self.remask_token = Parameter(np.zeros(self.encoder.out_features))
+        self.decoder = MLP([self.encoder.out_features, hidden_dim,
+                            in_features], rng=rng)
+        self.mask_ratio = mask_ratio
+        self.gamma = gamma
+        self.objective = objective if objective is not None else _SCEObjective()
+        self._rng = rng
+
+    def _masked_reconstruction(self, batch: GraphBatch):
+        """One mask sampling -> (reconstruction, target) on masked rows."""
+        n = batch.num_nodes
+        num_masked = max(1, int(round(n * self.mask_ratio)))
+        masked = self._rng.choice(n, size=num_masked, replace=False)
+        masked.sort()
+        mask = np.zeros((n, 1))
+        mask[masked] = 1.0
+        mask_t = Tensor(mask)
+        x = Tensor(batch.x) * (1.0 - mask_t) + self.mask_token * mask_t
+        node_h, _ = self.encoder(batch, x=x)
+        # Re-mask the encoded embedding before decoding (GraphMAE trick).
+        node_h = node_h * (1.0 - mask_t) + self.remask_token * mask_t
+        reconstruction = self.decoder(node_h)[masked]
+        target = Tensor(batch.x[masked])
+        return reconstruction, target
+
+    def training_loss(self, batch: GraphBatch) -> Tensor:
+        recon, target = self._masked_reconstruction(batch)
+
+        def base_loss():
+            return sce_loss(recon, target, gamma=self.gamma)
+
+        def gradient_loss():
+            objective = self.objective
+            assert isinstance(objective, GradGCLObjective)
+            # A second independent masking provides the "other view" of the
+            # gradient channel.  SCE gradients are pure residual directions,
+            # so this term carries no class structure — Fig. 11's negative
+            # result.
+            recon2, target2 = self._masked_reconstruction(batch)
+            g1 = _sce_gradient_features(recon, target, self.gamma)
+            g2 = _sce_gradient_features(recon2, target2, self.gamma)
+            k = min(len(g1), len(g2))
+            if objective.detach_features:
+                g1, g2 = g1.detach(), g2.detach()
+            return info_nce(g1[:k], g2[:k], tau=objective.grad_tau,
+                            sim=objective.grad_sim)
+
+        return self.combine_with_gradients(base_loss, gradient_loss)
+
+    def graph_embeddings(self, batch: GraphBatch) -> Tensor:
+        _, h = self.encoder(batch)
+        return h

@@ -1,0 +1,65 @@
+"""JOAO (You et al. 2021): joint augmentation optimization over GraphCL.
+
+JOAO keeps GraphCL's architecture but learns the sampling distribution over
+augmentations with a min-max rule: augmentations that currently yield a
+*higher* contrastive loss (harder views) are sampled more often.  We update
+the distribution from per-augmentation running losses at each epoch end, a
+faithful lightweight version of the original alternating optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import GraphBatch
+from ..tensor import Tensor
+from .graphcl import GraphCL
+
+__all__ = ["JOAO"]
+
+
+class JOAO(GraphCL):
+    """GraphCL + learned augmentation distribution."""
+
+    name = "JOAO"
+
+    def __init__(self, *args, gamma: float = 0.1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = gamma
+        pool_size = len(self.augmentation.augmentations)
+        self._loss_sums = np.zeros(pool_size)
+        self._loss_counts = np.zeros(pool_size)
+
+    def training_loss(self, batch: GraphBatch) -> Tensor:
+        loss = super().training_loss(batch)
+        # Attribute the batch loss to the augmentation chosen for view 1.
+        choice = self.augmentation.last_choice
+        if choice is not None:
+            self._loss_sums[choice] += loss.item()
+            self._loss_counts[choice] += 1
+        return loss
+
+    def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
+        """Min-max update: re-weight towards high-loss augmentations."""
+        counts = np.maximum(self._loss_counts, 1.0)
+        mean_losses = self._loss_sums / counts
+        # Softmax over mean losses with inverse-temperature 1/gamma; unseen
+        # augmentations inherit the overall mean so they keep being explored.
+        unseen = self._loss_counts == 0
+        if unseen.any():
+            mean_losses[unseen] = mean_losses[~unseen].mean() if (~unseen).any() else 0.0
+        logits = mean_losses / self.gamma
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        self.augmentation.set_probabilities(probs)
+        if self.augmentation2 is not self.augmentation:
+            self.augmentation2.set_probabilities(probs)
+        self._loss_sums[:] = 0.0
+        self._loss_counts[:] = 0.0
+
+    @property
+    def augmentation_probabilities(self) -> np.ndarray:
+        return self.augmentation.probabilities.copy()

@@ -1,0 +1,109 @@
+"""Pretraining baselines of Table VI: AttrMasking and ContextPred.
+
+Hu et al. (2019)'s node-level pretraining strategies, which the paper
+compares against in the transfer-learning table:
+
+* **AttrMasking** — mask a fraction of atom-type features and train the
+  encoder (plus a linear head) to classify the masked atoms' types;
+* **ContextPred** — train the encoder to tell true neighbour pairs from
+  random node pairs by the inner product of their embeddings.
+
+Both produce a pretrained GIN encoder compatible with
+:func:`repro.methods.transfer.finetune_roc_auc`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gnn import GINEncoder
+from ..graph import GraphBatch
+from ..nn import Linear
+from ..tensor import Tensor, log_softmax
+from .base import GraphContrastiveMethod
+
+__all__ = ["AttrMasking", "ContextPred"]
+
+
+class _NullObjective:
+    """Placeholder so the shared trainer's part-logging finds nothing."""
+
+    last_parts: dict[str, float] = {}
+
+
+class AttrMasking(GraphContrastiveMethod):
+    """Masked atom-type prediction pretraining (Hu et al. 2019).
+
+    Assumes one-hot node features (as the molecule datasets provide); the
+    class of a node is its argmax feature.
+    """
+
+    name = "AttrMasking"
+
+    def __init__(self, in_features: int, hidden_dim: int = 32,
+                 num_layers: int = 2, *, rng: np.random.Generator,
+                 mask_ratio: float = 0.25):
+        super().__init__()
+        if not 0.0 < mask_ratio < 1.0:
+            raise ValueError(f"mask_ratio must be in (0, 1), got {mask_ratio}")
+        self.encoder = GINEncoder(in_features, hidden_dim, num_layers,
+                                  rng=rng)
+        self.head = Linear(self.encoder.out_features, in_features, rng=rng)
+        self.mask_ratio = mask_ratio
+        self.objective = _NullObjective()
+        self._rng = rng
+
+    def training_loss(self, batch: GraphBatch) -> Tensor:
+        n = batch.num_nodes
+        num_masked = max(1, int(round(n * self.mask_ratio)))
+        masked = self._rng.choice(n, size=num_masked, replace=False)
+        masked.sort()
+        targets = batch.x[masked].argmax(axis=1)
+        mask = np.zeros((n, 1))
+        mask[masked] = 1.0
+        x = Tensor(batch.x) * (1.0 - Tensor(mask))
+        node_h, _ = self.encoder(batch, x=x)
+        logits = self.head(node_h[masked])
+        log_probs = log_softmax(logits, axis=1)
+        return -log_probs[np.arange(num_masked), targets].mean()
+
+    def graph_embeddings(self, batch: GraphBatch) -> Tensor:
+        _, h = self.encoder(batch)
+        return h
+
+
+class ContextPred(GraphContrastiveMethod):
+    """Neighbour-vs-random pair discrimination pretraining."""
+
+    name = "ContextPred"
+
+    def __init__(self, in_features: int, hidden_dim: int = 32,
+                 num_layers: int = 2, *, rng: np.random.Generator,
+                 pairs_per_batch: int = 256):
+        super().__init__()
+        self.encoder = GINEncoder(in_features, hidden_dim, num_layers,
+                                  rng=rng)
+        self.pairs_per_batch = pairs_per_batch
+        self.objective = _NullObjective()
+        self._rng = rng
+
+    def training_loss(self, batch: GraphBatch) -> Tensor:
+        node_h, _ = self.encoder(batch)
+        edges = batch.edges
+        if len(edges) == 0:
+            raise ValueError("ContextPred needs at least one edge")
+        k = min(self.pairs_per_batch, len(edges))
+        chosen = self._rng.choice(len(edges), size=k, replace=False)
+        pos_u = edges[chosen, 0]
+        pos_v = edges[chosen, 1]
+        neg_u = self._rng.integers(0, batch.num_nodes, size=k)
+        neg_v = self._rng.integers(0, batch.num_nodes, size=k)
+        pos_scores = (node_h[pos_u] * node_h[pos_v]).sum(axis=1)
+        neg_scores = (node_h[neg_u] * node_h[neg_v]).sum(axis=1)
+        # Binary NCE: -log sigma(pos) - log sigma(-neg), in softplus form.
+        return ((-pos_scores).softplus().mean()
+                + neg_scores.softplus().mean())
+
+    def graph_embeddings(self, batch: GraphBatch) -> Tensor:
+        _, h = self.encoder(batch)
+        return h

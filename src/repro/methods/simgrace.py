@@ -1,0 +1,66 @@
+"""SimGRACE (Xia et al. 2022): contrastive learning without data augmentation.
+
+The second view comes from running the *same* (un-augmented) batch through a
+Gaussian-perturbed copy of the encoder.  This is the paper's primary backbone
+for the motivational experiments (Figs. 1-3, 5-7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..augment import perturbed_copy
+from ..core import ContrastiveObjective, InfoNCEObjective
+from ..gnn import GINEncoder, ProjectionHead
+from ..graph import GraphBatch
+from ..tensor import Tensor, no_grad
+from .base import GraphContrastiveMethod
+
+__all__ = ["SimGRACE"]
+
+
+class SimGRACE(GraphContrastiveMethod):
+    """SimGRACE with a pluggable objective (GradGCL-ready).
+
+    Parameters
+    ----------
+    perturb_magnitude:
+        Scale ``eta`` of the per-tensor Gaussian weight noise producing the
+        second encoder.
+    """
+
+    name = "SimGRACE"
+
+    def __init__(self, in_features: int, hidden_dim: int = 32,
+                 num_layers: int = 3, *, rng: np.random.Generator,
+                 perturb_magnitude: float = 0.1,
+                 objective: ContrastiveObjective | None = None,
+                 tau: float = 0.5):
+        super().__init__()
+        self.encoder = GINEncoder(in_features, hidden_dim, num_layers,
+                                  rng=rng)
+        self.projector = ProjectionHead(self.encoder.out_features, rng=rng)
+        self.objective = (objective if objective is not None
+                          else InfoNCEObjective(tau=tau, sim="cos"))
+        self.perturb_magnitude = perturb_magnitude
+        self._rng = rng
+
+    def project_views(self, batch: GraphBatch) -> tuple[Tensor, Tensor]:
+        """(online view, perturbed-encoder view) projected embeddings."""
+        _, h1 = self.encoder(batch)
+        # The perturbed encoder is a frozen sample: no gradients flow into
+        # it (matching SimGRACE, which detaches the perturbed branch).
+        with no_grad():
+            perturbed = perturbed_copy(self.encoder, self.perturb_magnitude,
+                                       self._rng)
+            _, h2_data = perturbed(batch)
+        h2 = Tensor(h2_data.data)
+        return self.projector(h1), self.projector(h2)
+
+    def training_loss(self, batch: GraphBatch) -> Tensor:
+        u, v = self.project_views(batch)
+        return self.objective.loss(u, v)
+
+    def graph_embeddings(self, batch: GraphBatch) -> Tensor:
+        _, h = self.encoder(batch)
+        return h

@@ -1,0 +1,171 @@
+"""Training loops shared by all methods, with history for the figures.
+
+The history records per-epoch loss (and GradGCL's loss_f / loss_g parts),
+wall-clock time (Table VIII), and optional alignment/uniformity probes
+(Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..graph import Graph, GraphLoader
+from ..nn import Adam
+from ..utils import Timer
+from .base import GraphContrastiveMethod, NodeContrastiveMethod
+
+__all__ = ["TrainHistory", "train_graph_method", "train_node_method",
+           "clip_gradients"]
+
+
+def clip_gradients(parameters, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float((grad ** 2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+def _check_finite(loss_value: float, context: str) -> None:
+    if not np.isfinite(loss_value):
+        raise FloatingPointError(
+            f"non-finite loss ({loss_value}) during {context}; check the "
+            "learning rate and temperature settings")
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training record."""
+
+    losses: list[float] = field(default_factory=list)
+    parts: list[dict[str, float]] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+    probes: list[dict[str, float]] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("history is empty")
+        return self.losses[-1]
+
+
+def _mean_parts(parts: list[dict[str, float]]) -> dict[str, float]:
+    if not parts:
+        return {}
+    keys = set().union(*parts)
+    return {k: float(np.mean([p[k] for p in parts if k in p])) for k in keys}
+
+
+def train_graph_method(method: GraphContrastiveMethod,
+                       graphs: Sequence[Graph], *, epochs: int = 20,
+                       batch_size: int = 64, lr: float = 1e-3,
+                       weight_decay: float = 0.0, seed: int = 0,
+                       grad_clip: float | None = None,
+                       patience: int | None = None,
+                       min_delta: float = 1e-4,
+                       probe: Callable[[GraphContrastiveMethod], dict] | None = None
+                       ) -> TrainHistory:
+    """Train a graph-level method with Adam; return the epoch history.
+
+    Parameters
+    ----------
+    grad_clip:
+        Optional global gradient-norm cap applied before each step.
+    patience:
+        Optional early stopping: halt when the epoch loss has not improved
+        by more than ``min_delta`` for ``patience`` consecutive epochs.
+    probe:
+        Called after every epoch with the method; its returned dict is
+        appended to ``history.probes`` (Fig. 7's trajectories).
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
+    loader = GraphLoader(graphs, batch_size=batch_size, shuffle=True,
+                         rng=np.random.default_rng(seed))
+    history = TrainHistory()
+    best_loss = np.inf
+    stall = 0
+    method.train()
+    for epoch in range(epochs):
+        epoch_losses: list[float] = []
+        epoch_parts: list[dict[str, float]] = []
+        with Timer() as timer:
+            for batch in loader:
+                if batch.num_graphs < 2:
+                    continue  # contrastive losses need in-batch negatives
+                optimizer.zero_grad()
+                loss = method.training_loss(batch)
+                _check_finite(loss.item(), f"epoch {epoch}")
+                loss.backward()
+                if grad_clip is not None:
+                    clip_gradients(optimizer.params, grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+                parts = getattr(method.objective, "last_parts", None)
+                if parts:
+                    epoch_parts.append(dict(parts))
+        history.losses.append(float(np.mean(epoch_losses)))
+        history.parts.append(_mean_parts(epoch_parts))
+        history.epoch_seconds.append(timer.elapsed)
+        method.on_epoch_end(epoch, history.losses[-1])
+        if probe is not None:
+            history.probes.append(probe(method))
+        if patience is not None:
+            if history.losses[-1] < best_loss - min_delta:
+                best_loss = history.losses[-1]
+                stall = 0
+            else:
+                stall += 1
+                if stall >= patience:
+                    break
+    return history
+
+
+def train_node_method(method: NodeContrastiveMethod, graph: Graph, *,
+                      epochs: int = 50, lr: float = 1e-3,
+                      weight_decay: float = 0.0,
+                      grad_clip: float | None = None,
+                      probe: Callable[[NodeContrastiveMethod], dict] | None = None
+                      ) -> TrainHistory:
+    """Full-graph training loop for node-level methods."""
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
+    history = TrainHistory()
+    method.train()
+    for epoch in range(epochs):
+        with Timer() as timer:
+            optimizer.zero_grad()
+            loss = method.training_loss(graph)
+            _check_finite(loss.item(), f"epoch {epoch}")
+            loss.backward()
+            if grad_clip is not None:
+                clip_gradients(optimizer.params, grad_clip)
+            optimizer.step()
+        history.losses.append(loss.item())
+        parts = getattr(method.objective, "last_parts", None)
+        history.parts.append(dict(parts) if parts else {})
+        history.epoch_seconds.append(timer.elapsed)
+        method.on_epoch_end(epoch, history.losses[-1])
+        if probe is not None:
+            history.probes.append(probe(method))
+    return history

@@ -1,0 +1,26 @@
+"""Neural-network building blocks (modules, layers, optimizers)."""
+
+from .module import Module, ModuleList, Parameter
+from .layers import (
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    PReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam, CosineAnnealingLR, Optimizer, StepLR
+from .serialization import load_module, save_module
+
+__all__ = [
+    "Module", "ModuleList", "Parameter",
+    "Linear", "BatchNorm1d", "Dropout", "Identity", "Sequential",
+    "ReLU", "Tanh", "Sigmoid", "LeakyReLU", "PReLU", "MLP",
+    "Optimizer", "SGD", "Adam", "StepLR", "CosineAnnealingLR",
+    "save_module", "load_module",
+]

@@ -1,0 +1,30 @@
+"""Weight initialization schemes (Glorot/Kaiming) with explicit RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "kaiming_uniform", "zeros", "normal"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, the default for GCN-style layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def kaiming_uniform(fan_in: int, fan_out: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Kaiming/He uniform init, suited to ReLU networks (GIN MLPs)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def normal(shape: tuple[int, ...], std: float,
+           rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,120 @@
+"""First-order optimizers (SGD with momentum, Adam) and LR schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineAnnealingLR"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with decoupled-style optional weight decay."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch += 1
+        decays = self._epoch // self.step_size
+        self.optimizer.lr = self._base_lr * (self.gamma ** decays)
+
+
+class CosineAnnealingLR:
+    """Cosine-anneal the LR from its initial value to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 eta_min: float = 0.0):
+        self.optimizer = optimizer
+        self.total_epochs = max(total_epochs, 1)
+        self.eta_min = eta_min
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        self.optimizer.lr = (
+            self.eta_min + 0.5 * (self._base_lr - self.eta_min)
+            * (1.0 + np.cos(np.pi * progress)))

@@ -1,0 +1,36 @@
+"""Checkpointing: save/load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+# npz keys cannot contain "/" reliably across numpy versions; parameters use
+# dotted names already, which are safe.
+_VERSION_KEY = "__repro_checkpoint_version__"
+_VERSION = 1.0
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Write all parameters of ``module`` to ``path`` (.npz appended)."""
+    path = Path(path)
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez(path, **state, **{_VERSION_KEY: np.array(_VERSION)})
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters from ``path`` into ``module`` (strict matching)."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != _VERSION_KEY}
+    module.load_state_dict(state)
+    return module

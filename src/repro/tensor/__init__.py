@@ -1,0 +1,29 @@
+"""Numpy-backed reverse-mode autodiff substrate (replaces PyTorch autograd)."""
+
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .ops import (
+    concat,
+    cosine_similarity_matrix,
+    dot_rows,
+    dropout_mask,
+    gather_rows,
+    l2_normalize,
+    log_softmax,
+    logsumexp,
+    pairwise_sqdist,
+    segment_max,
+    segment_mean,
+    segment_sum,
+    softmax,
+    spmm,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "concat", "stack", "spmm", "segment_sum", "segment_mean", "segment_max",
+    "gather_rows", "logsumexp", "softmax", "log_softmax", "l2_normalize",
+    "cosine_similarity_matrix", "pairwise_sqdist", "dot_rows", "where",
+    "dropout_mask",
+]

@@ -1,0 +1,8 @@
+"""Shared utilities: seeding, timing, and result-table formatting."""
+
+from .seed import seeded_rng, set_global_seed
+from .timer import Timer
+from .tables import format_cell, format_table, print_table
+
+__all__ = ["seeded_rng", "set_global_seed", "Timer", "format_cell",
+           "format_table", "print_table"]

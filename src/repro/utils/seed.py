@@ -1,0 +1,25 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (dataset generation, augmentation,
+weight init, dropout, training shuffles) draws from an explicit
+``numpy.random.Generator`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["seeded_rng", "set_global_seed"]
+
+
+def seeded_rng(seed: int | None) -> np.random.Generator:
+    """Return a fresh PCG64 generator for ``seed`` (fresh entropy if None)."""
+    return np.random.default_rng(seed)
+
+
+def set_global_seed(seed: int) -> None:
+    """Seed python's and numpy's legacy global RNGs (used by networkx)."""
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))

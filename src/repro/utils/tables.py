@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Each benchmark prints rows shaped like the paper's tables; these helpers keep
+the formatting consistent (fixed-width columns, mean +/- std cells).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_cell", "format_table", "print_table"]
+
+
+def format_cell(mean: float, std: float | None = None,
+                digits: int = 2) -> str:
+    """Format a metric cell as ``mean±std`` the way the paper reports it."""
+    if std is None:
+        return f"{mean:.{digits}f}"
+    return f"{mean:.{digits}f}±{std:.{digits}f}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in rows)
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Print a titled table (used by every bench target)."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))

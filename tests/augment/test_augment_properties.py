@@ -1,0 +1,85 @@
+"""Property-based augmentation invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment import (
+    AttributeMask,
+    EdgePerturb,
+    NodeDrop,
+    SubgraphSample,
+)
+from repro.graph import Graph
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=15))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(min_value=0.1, max_value=0.9))
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu[0])) < density
+    edges = np.stack([iu[0][mask], iu[1][mask]], axis=1)
+    return Graph(n, edges, rng.normal(size=(n, 4)))
+
+
+aug_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), aug_seeds)
+def test_node_drop_subset_nodes(graph, seed):
+    out = NodeDrop(0.3)(graph, np.random.default_rng(seed))
+    assert 1 <= out.num_nodes <= graph.num_nodes
+    # Feature rows come from the original feature matrix.
+    original_rows = {tuple(row) for row in graph.x}
+    assert all(tuple(row) in original_rows for row in out.x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), aug_seeds)
+def test_node_drop_canonical_edges(graph, seed):
+    out = NodeDrop(0.3)(graph, np.random.default_rng(seed))
+    if out.edges.size:
+        assert (out.edges[:, 0] < out.edges[:, 1]).all()
+        assert out.edges.max() < out.num_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), aug_seeds)
+def test_edge_perturb_preserves_nodes(graph, seed):
+    out = EdgePerturb(0.4)(graph, np.random.default_rng(seed))
+    assert out.num_nodes == graph.num_nodes
+    if out.edges.size:
+        assert (out.edges[:, 0] != out.edges[:, 1]).all()  # no self loops
+        # No duplicate edges.
+        assert len(out.edge_set()) == out.num_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), aug_seeds)
+def test_attribute_mask_only_zeroes(graph, seed):
+    out = AttributeMask(0.4)(graph, np.random.default_rng(seed))
+    changed = out.x != graph.x
+    assert (out.x[changed] == 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), aug_seeds)
+def test_subgraph_is_induced(graph, seed):
+    out = SubgraphSample(0.6)(graph, np.random.default_rng(seed))
+    assert out.num_nodes == max(1, int(round(graph.num_nodes * 0.6)))
+    # Subgraph edges cannot outnumber original edges.
+    assert out.num_edges <= graph.num_edges
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_graphs(), aug_seeds)
+def test_determinism_under_fixed_seed(graph, seed):
+    a = NodeDrop(0.3)(graph, np.random.default_rng(seed))
+    b = NodeDrop(0.3)(graph, np.random.default_rng(seed))
+    assert a.num_nodes == b.num_nodes
+    np.testing.assert_array_equal(a.x, b.x)
+    np.testing.assert_array_equal(a.edges, b.edges)

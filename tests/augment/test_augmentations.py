@@ -1,0 +1,199 @@
+"""Augmentation invariants: sizes, edge sets, determinism, composition."""
+
+import numpy as np
+import pytest
+
+from repro.augment import (
+    AdaptiveEdgeDrop,
+    AdaptiveFeatureMask,
+    AttributeMask,
+    Compose,
+    EdgePerturb,
+    FeatureColumnDrop,
+    Identity,
+    NodeDrop,
+    RandomChoice,
+    SubgraphSample,
+    perturbed_copy,
+)
+from repro.graph import Graph
+from repro.nn import Linear
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    edges = Graph.canonical_edges(rng.integers(0, 20, size=(40, 2)))
+    return Graph(20, edges, rng.normal(size=(20, 6)), y=1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestIdentity:
+    def test_returns_copy(self, graph, rng):
+        out = Identity()(graph, rng)
+        assert out is not graph
+        np.testing.assert_array_equal(out.x, graph.x)
+        assert out.edge_set() == graph.edge_set()
+
+
+class TestNodeDrop:
+    def test_drops_expected_fraction(self, graph, rng):
+        out = NodeDrop(0.25)(graph, rng)
+        assert out.num_nodes == 15
+
+    def test_never_empties(self, rng):
+        g = Graph(2, [[0, 1]], np.eye(2))
+        out = NodeDrop(0.9)(g, rng)
+        assert out.num_nodes >= 1
+
+    def test_edges_are_induced(self, graph, rng):
+        out = NodeDrop(0.3)(graph, rng)
+        # Any surviving edge must connect surviving nodes (by construction),
+        # and degrees cannot exceed originals.
+        assert out.edges.size == 0 or out.edges.max() < out.num_nodes
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            NodeDrop(1.0)
+
+
+class TestEdgePerturb:
+    def test_preserves_edge_count_with_add(self, graph, rng):
+        out = EdgePerturb(0.3, add_edges=True)(graph, rng)
+        # Dropped edges are replaced (up to collision failures).
+        assert abs(out.num_edges - graph.num_edges) <= 2
+
+    def test_drop_only(self, graph, rng):
+        out = EdgePerturb(0.5, add_edges=False)(graph, rng)
+        assert out.num_edges < graph.num_edges
+        assert out.edge_set() <= graph.edge_set()
+
+    def test_node_features_unchanged(self, graph, rng):
+        out = EdgePerturb(0.3)(graph, rng)
+        np.testing.assert_array_equal(out.x, graph.x)
+
+    def test_edgeless_graph_unchanged(self, rng):
+        g = Graph(3, np.empty((0, 2)), np.eye(3))
+        out = EdgePerturb(0.5)(g, rng)
+        assert out.num_edges == 0
+
+
+class TestSubgraph:
+    def test_keeps_target_count(self, graph, rng):
+        out = SubgraphSample(0.5)(graph, rng)
+        assert out.num_nodes == 10
+
+    def test_full_keep(self, graph, rng):
+        out = SubgraphSample(1.0)(graph, rng)
+        assert out.num_nodes == graph.num_nodes
+
+    def test_handles_disconnected(self, rng):
+        g = Graph(6, [[0, 1], [2, 3]], np.eye(6))
+        out = SubgraphSample(0.9)(g, rng)
+        assert out.num_nodes == 5
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            SubgraphSample(0.0)
+
+
+class TestFeatureAugs:
+    def test_attribute_mask_fraction(self, graph, rng):
+        out = AttributeMask(0.5)(graph, rng)
+        zero_fraction = (out.x == 0).mean()
+        assert 0.3 < zero_fraction < 0.7
+        assert out.edge_set() == graph.edge_set()
+
+    def test_column_drop_zeroes_columns(self, graph, rng):
+        out = FeatureColumnDrop(0.5)(graph, rng)
+        column_zeroed = (out.x == 0).all(axis=0)
+        column_intact = (out.x == graph.x).all(axis=0)
+        assert (column_zeroed | column_intact).all()
+
+    def test_original_untouched(self, graph, rng):
+        before = graph.x.copy()
+        AttributeMask(0.5)(graph, rng)
+        FeatureColumnDrop(0.5)(graph, rng)
+        np.testing.assert_array_equal(graph.x, before)
+
+
+class TestAdaptive:
+    def test_edge_drop_prefers_low_centrality(self, rng):
+        # A star graph: spoke-spoke edges absent; hub edges are central.
+        hub_edges = [[0, i] for i in range(1, 8)]
+        chain = [[7, 8], [8, 9]]
+        g = Graph(10, hub_edges + chain, np.eye(10))
+        aug = AdaptiveEdgeDrop(0.5)
+        probs = aug.drop_probabilities(g)
+        hub_mean = probs[:7].mean()
+        tail_mean = probs[7:].mean()
+        assert tail_mean > hub_mean  # peripheral edges dropped more
+
+    def test_edge_drop_never_empties(self, rng):
+        g = Graph(3, [[0, 1], [1, 2]], np.eye(3))
+        out = AdaptiveEdgeDrop(0.69, clamp=0.99)(g, rng)
+        assert out.num_edges >= 1
+
+    def test_feature_mask_runs(self, graph, rng):
+        out = AdaptiveFeatureMask(0.4)(graph, rng)
+        assert out.x.shape == graph.x.shape
+
+
+class TestCombinators:
+    def test_compose_order(self, graph, rng):
+        aug = Compose([NodeDrop(0.2), AttributeMask(0.3)])
+        out = aug(graph, rng)
+        assert out.num_nodes == 16
+        assert (out.x == 0).any()
+
+    def test_random_choice_distribution(self, graph):
+        aug = RandomChoice([Identity(), NodeDrop(0.5)],
+                           probabilities=[1.0, 0.0])
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            out = aug(graph, rng)
+            assert out.num_nodes == graph.num_nodes
+            assert aug.last_choice == 0
+
+    def test_set_probabilities_validation(self):
+        aug = RandomChoice([Identity(), NodeDrop(0.5)])
+        with pytest.raises(ValueError):
+            aug.set_probabilities([1.0])
+        with pytest.raises(ValueError):
+            aug.set_probabilities([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            aug.set_probabilities([0.0, 0.0])
+
+    def test_probabilities_normalized(self):
+        aug = RandomChoice([Identity(), NodeDrop(0.5)],
+                           probabilities=[2.0, 2.0])
+        np.testing.assert_allclose(aug.probabilities, [0.5, 0.5])
+
+
+class TestEncoderPerturb:
+    def test_noise_scale_tracks_parameter_std(self, rng):
+        layer = Linear(50, 50, rng=np.random.default_rng(0))
+        clone = perturbed_copy(layer, magnitude=0.1, rng=rng)
+        delta = clone.weight.data - layer.weight.data
+        expected = 0.1 * layer.weight.data.std()
+        assert 0.5 * expected < delta.std() < 1.5 * expected
+
+    def test_zero_magnitude_is_exact_copy(self, rng):
+        layer = Linear(4, 4, rng=np.random.default_rng(0))
+        clone = perturbed_copy(layer, magnitude=0.0, rng=rng)
+        np.testing.assert_array_equal(clone.weight.data, layer.weight.data)
+
+    def test_original_untouched(self, rng):
+        layer = Linear(4, 4, rng=np.random.default_rng(0))
+        before = layer.weight.data.copy()
+        perturbed_copy(layer, magnitude=1.0, rng=rng)
+        np.testing.assert_array_equal(layer.weight.data, before)
+
+    def test_magnitude_validation(self, rng):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            perturbed_copy(layer, magnitude=-0.1, rng=rng)

@@ -1,0 +1,86 @@
+"""Collapse diagnostics: spectrum, collapsed-dimension count, effective rank."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    covariance_matrix,
+    effective_rank,
+    log_spectrum,
+    num_collapsed_dimensions,
+    singular_spectrum,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(29)
+
+
+def low_rank_embeddings(rng, n=200, d=16, rank=3):
+    basis = rng.normal(size=(rank, d))
+    coeffs = rng.normal(size=(n, rank))
+    return coeffs @ basis
+
+
+class TestCovariance:
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=(50, 6))
+        np.testing.assert_allclose(covariance_matrix(x),
+                                   np.cov(x.T, bias=True), atol=1e-10)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            covariance_matrix(rng.normal(size=(5,)))
+
+
+class TestSpectrum:
+    def test_descending_nonnegative(self, rng):
+        s = singular_spectrum(rng.normal(size=(100, 8)))
+        assert (np.diff(s) <= 1e-12).all()
+        assert (s >= 0).all()
+
+    def test_low_rank_has_zero_tail(self, rng):
+        s = singular_spectrum(low_rank_embeddings(rng, rank=3, d=10))
+        assert s[2] > 1e-6
+        np.testing.assert_allclose(s[3:], 0.0, atol=1e-10)
+
+    def test_log_spectrum_floor(self, rng):
+        logs = log_spectrum(low_rank_embeddings(rng, rank=2, d=6))
+        assert np.isfinite(logs).all()
+        assert logs.min() >= -12.0 - 1e-9
+
+
+class TestCollapsedCount:
+    def test_full_rank_no_collapse(self, rng):
+        x = rng.normal(size=(500, 8))
+        assert num_collapsed_dimensions(x) == 0
+
+    def test_counts_missing_dimensions(self, rng):
+        x = low_rank_embeddings(rng, d=12, rank=4)
+        assert num_collapsed_dimensions(x) == 8
+
+    def test_constant_embeddings_fully_collapsed(self):
+        x = np.ones((50, 5))
+        assert num_collapsed_dimensions(x) == 5
+
+
+class TestEffectiveRank:
+    def test_isotropic_is_near_dimension(self, rng):
+        x = rng.normal(size=(5000, 6))
+        assert effective_rank(x) > 5.5
+
+    def test_low_rank_is_near_true_rank(self, rng):
+        x = low_rank_embeddings(rng, n=2000, d=20, rank=4)
+        r = effective_rank(x)
+        assert 2.0 < r < 5.0
+
+    def test_degenerate_is_zero(self):
+        assert effective_rank(np.ones((10, 4))) == 0.0
+
+    def test_monotone_in_rank(self, rng):
+        ranks = [2, 5, 9]
+        values = [effective_rank(low_rank_embeddings(rng, n=1000, d=12,
+                                                     rank=r))
+                  for r in ranks]
+        assert values[0] < values[1] < values[2]

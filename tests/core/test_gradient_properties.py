@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the Eq. 6 gradient features."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import infonce_gradient_features, jsd_gradient_features
+from repro.losses import info_nce, jsd_loss
+from repro.tensor import Tensor
+
+finite = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+
+def view_pairs(min_n=2, max_n=6, min_d=2, max_d=5):
+    return st.tuples(st.integers(min_n, max_n),
+                     st.integers(min_d, max_d)).flatmap(
+        lambda shape: st.tuples(arrays(np.float64, shape, elements=finite),
+                                arrays(np.float64, shape, elements=finite)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(view_pairs())
+def test_dot_gradients_match_autograd_everywhere(pair):
+    # The core identity, property-tested over random batch shapes.
+    u_np, v_np = pair
+    assume(np.abs(u_np).max() < 3.0 and np.abs(v_np).max() < 3.0)
+    u = Tensor(u_np, requires_grad=True)
+    v = Tensor(v_np)
+    n = len(u)
+    info_nce(u, v, tau=0.7, sim="dot", symmetric=False).backward()
+    g, _ = infonce_gradient_features(Tensor(u_np), Tensor(v_np), tau=0.7,
+                                     sim="dot")
+    np.testing.assert_allclose(u.grad, g.data / n, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(view_pairs())
+def test_gradients_live_in_candidate_span(pair):
+    # g_i = (p @ v - v)_i / tau is a combination of candidate rows, so the
+    # gradient matrix's row space lies inside span(v).
+    u_np, v_np = pair
+    assume(np.linalg.matrix_rank(v_np) >= 1)
+    g, _ = infonce_gradient_features(Tensor(u_np), Tensor(v_np), tau=0.5,
+                                     sim="dot")
+    stacked = np.concatenate([v_np, g.data], axis=0)
+    assert (np.linalg.matrix_rank(stacked, tol=1e-8)
+            == np.linalg.matrix_rank(v_np, tol=1e-8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(view_pairs(), st.floats(min_value=0.1, max_value=5.0))
+def test_cos_gradients_scale_invariant_in_inputs(pair, scale):
+    # Cosine-mode features depend only on directions of the inputs.  Rows
+    # with tiny norms are excluded: the normalization epsilon (1e-12 under
+    # the squared norm) makes them legitimately scale-sensitive.
+    u_np, v_np = pair
+    assume((np.linalg.norm(u_np, axis=1) > 0.05).all())
+    assume((np.linalg.norm(v_np, axis=1) > 0.05).all())
+    g1, _ = infonce_gradient_features(Tensor(u_np), Tensor(v_np), sim="cos")
+    g2, _ = infonce_gradient_features(Tensor(scale * u_np),
+                                      Tensor(scale * v_np), sim="cos")
+    np.testing.assert_allclose(g1.data, g2.data, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(view_pairs())
+def test_jsd_gradients_match_autograd_everywhere(pair):
+    u_np, v_np = pair
+    u = Tensor(u_np, requires_grad=True)
+    jsd_loss(u, Tensor(v_np)).backward()
+    g, _ = jsd_gradient_features(Tensor(u_np), Tensor(v_np))
+    np.testing.assert_allclose(u.grad, g.data, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(view_pairs())
+def test_gradient_features_finite(pair):
+    u_np, v_np = pair
+    for sim in ("dot", "cos", "euclid"):
+        g, gp = infonce_gradient_features(Tensor(u_np), Tensor(v_np),
+                                          tau=0.5, sim=sim)
+        assert np.isfinite(g.data).all() and np.isfinite(gp.data).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(view_pairs())
+def test_euclid_gradient_tau_independent(pair):
+    # Eq. 20's gradient carries no temperature; tau must not change it.
+    u_np, v_np = pair
+    g1, _ = infonce_gradient_features(Tensor(u_np), Tensor(v_np), tau=0.3,
+                                      sim="euclid")
+    g2, _ = infonce_gradient_features(Tensor(u_np), Tensor(v_np), tau=2.0,
+                                      sim="euclid")
+    np.testing.assert_allclose(g1.data, g2.data, atol=1e-10)

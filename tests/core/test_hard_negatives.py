@@ -1,0 +1,59 @@
+"""Hard-negative diagnostics (paper Sec. III-A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import hard_negative_margin, hard_negative_rate
+
+
+def clustered(rng, sep=6.0, per_class=20, dim=6):
+    centers = rng.normal(size=(2, dim)) * sep
+    x = np.concatenate([rng.normal(loc=c, size=(per_class, dim))
+                        for c in centers])
+    y = np.repeat([0, 1], per_class)
+    return x, y
+
+
+class TestHardNegativeRate:
+    def test_separable_is_low(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered(rng, sep=8.0)
+        assert hard_negative_rate(x, y) < 0.1
+
+    def test_random_is_high(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 6))
+        y = rng.integers(0, 2, size=60)
+        assert hard_negative_rate(x, y) > 0.25
+
+    def test_interleaved_is_one(self):
+        # Identical embeddings for alternating labels: nearest neighbour is
+        # ambiguous but off-class points are equally near; construct exact
+        # confusion by pairing duplicates across classes.
+        x = np.repeat(np.eye(4), 2, axis=0)
+        y = np.tile([0, 1], 4)
+        assert hard_negative_rate(x, y) == 1.0
+
+
+class TestHardNegativeMargin:
+    def test_separable_positive(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered(rng, sep=8.0)
+        assert hard_negative_margin(x, y) > 0.0
+
+    def test_confused_negative(self):
+        x = np.repeat(np.eye(4), 2, axis=0)
+        y = np.tile([0, 1], 4)
+        # Best other-class sim is 1 (duplicate), best same-class < 1.
+        assert hard_negative_margin(x, y) < 0.0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            hard_negative_margin(np.eye(3), np.zeros(3))
+
+    def test_margin_orders_separations(self):
+        rng = np.random.default_rng(1)
+        tight, labels = clustered(rng, sep=1.0)
+        wide, _ = clustered(np.random.default_rng(1), sep=10.0)
+        assert (hard_negative_margin(wide, labels)
+                > hard_negative_margin(tight, labels))

@@ -1,0 +1,76 @@
+"""Contract tests every objective must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContrastiveObjective,
+    GradGCLObjective,
+    InfoNCEObjective,
+    JSDObjective,
+)
+from repro.methods.bgrl import BootstrapObjective
+from repro.tensor import Tensor
+
+OBJECTIVES = [
+    InfoNCEObjective(tau=0.5, sim="cos"),
+    InfoNCEObjective(tau=0.5, sim="dot"),
+    InfoNCEObjective(tau=1.0, sim="euclid"),
+    JSDObjective(),
+    BootstrapObjective(),
+    GradGCLObjective(base=InfoNCEObjective(), weight=0.5),
+    GradGCLObjective(base=JSDObjective(), weight=0.5),
+]
+
+
+@pytest.fixture
+def views():
+    rng = np.random.default_rng(2)
+    return (Tensor(rng.normal(size=(6, 4)), requires_grad=True),
+            Tensor(rng.normal(size=(6, 4)), requires_grad=True))
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES,
+                         ids=lambda o: type(o).__name__ + getattr(o, "sim", ""))
+class TestObjectiveContract:
+    def test_loss_is_finite_scalar(self, objective, views):
+        loss = objective.loss(*views)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_loss_backpropagates(self, objective, views):
+        u, v = views
+        objective.loss(u, v).backward()
+        assert u.grad is not None and np.isfinite(u.grad).all()
+
+    def test_callable_protocol(self, objective, views):
+        assert objective(*views).item() == pytest.approx(
+            objective.loss(*views).item())
+
+
+@pytest.mark.parametrize(
+    "objective",
+    [o for o in OBJECTIVES if not isinstance(o, BootstrapObjective)],
+    ids=lambda o: type(o).__name__ + getattr(o, "sim", ""))
+class TestGradientFeatureContract:
+    def test_shapes_match_inputs(self, objective, views):
+        u, v = views
+        g_u, g_v = objective.gradient_features(u, v)
+        assert g_u.shape == u.shape
+        assert g_v.shape == v.shape
+
+    def test_features_are_differentiable(self, objective, views):
+        u, v = views
+        g_u, g_v = objective.gradient_features(u, v)
+        (g_u * g_u + g_v * g_v).sum().backward()
+        assert u.grad is not None
+
+
+class TestBaseClass:
+    def test_abstract_methods_raise(self):
+        base = ContrastiveObjective()
+        with pytest.raises(NotImplementedError):
+            base.loss(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 2))))
+        with pytest.raises(NotImplementedError, match="gradient features"):
+            base.gradient_features(Tensor(np.ones((2, 2))),
+                                   Tensor(np.ones((2, 2))))

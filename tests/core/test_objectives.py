@@ -1,0 +1,127 @@
+"""GradGCL objective (Eq. 18) semantics and the plug-in wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlignmentAugmentedObjective,
+    GradGCLObjective,
+    InfoNCEObjective,
+    JSDObjective,
+    gradgcl,
+)
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+def views(rng, n=6, d=4, grad=False):
+    u = Tensor(rng.normal(size=(n, d)), requires_grad=grad)
+    v = Tensor(rng.normal(size=(n, d)), requires_grad=grad)
+    return u, v
+
+
+class TestGradGCLObjective:
+    def test_weight_zero_recovers_base(self, rng):
+        u, v = views(rng)
+        base = InfoNCEObjective(tau=0.5)
+        wrapped = GradGCLObjective(base=base, weight=0.0)
+        np.testing.assert_allclose(wrapped.loss(u, v).item(),
+                                   base.loss(u, v).item(), atol=1e-12)
+
+    def test_weight_one_is_pure_gradient_loss(self, rng):
+        u, v = views(rng)
+        wrapped = GradGCLObjective(base=InfoNCEObjective(), weight=1.0)
+        np.testing.assert_allclose(wrapped.loss(u, v).item(),
+                                   wrapped.gradient_loss(u, v).item(),
+                                   atol=1e-12)
+
+    def test_convex_combination(self, rng):
+        u, v = views(rng)
+        base = InfoNCEObjective()
+        mid = GradGCLObjective(base=base, weight=0.3)
+        total = mid.loss(u, v).item()
+        expected = (0.7 * base.loss(u, v).item()
+                    + 0.3 * mid.gradient_loss(u, v).item())
+        np.testing.assert_allclose(total, expected, atol=1e-12)
+
+    def test_parts_logged(self, rng):
+        u, v = views(rng)
+        obj = GradGCLObjective(weight=0.5)
+        obj.loss(u, v)
+        assert set(obj.last_parts) == {"loss_f", "loss_g"}
+        obj_f = GradGCLObjective(weight=0.0)
+        obj_f.loss(u, v)
+        assert set(obj_f.last_parts) == {"loss_f"}
+        obj_g = GradGCLObjective(weight=1.0)
+        obj_g.loss(u, v)
+        assert set(obj_g.last_parts) == {"loss_g"}
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            GradGCLObjective(weight=1.5)
+        with pytest.raises(ValueError, match="weight"):
+            GradGCLObjective(weight=-0.1)
+
+    def test_gradient_loss_trains_encoder(self, rng):
+        # a = 1 must still propagate gradients into the representations.
+        u, v = views(rng, grad=True)
+        obj = GradGCLObjective(weight=1.0)
+        obj.loss(u, v).backward()
+        assert u.grad is not None and np.abs(u.grad).sum() > 0
+
+    def test_detach_features_blocks_gradient_path(self, rng):
+        # With detached features AND a=1, nothing reaches the inputs.
+        u, v = views(rng, grad=True)
+        obj = GradGCLObjective(weight=1.0, detach_features=True)
+        obj.loss(u, v).backward()
+        assert u.grad is None and v.grad is None
+
+    def test_works_with_jsd_base(self, rng):
+        u, v = views(rng)
+        obj = GradGCLObjective(base=JSDObjective(), weight=0.5)
+        loss = obj.loss(u, v)
+        assert np.isfinite(loss.item())
+
+
+class TestPlugin:
+    class FakeMethod:
+        def __init__(self):
+            self.objective = InfoNCEObjective(tau=0.2)
+
+    def test_wraps_objective(self):
+        method = self.FakeMethod()
+        out = gradgcl(method, 0.4)
+        assert out is method
+        assert isinstance(method.objective, GradGCLObjective)
+        assert method.objective.weight == 0.4
+        # Inherits the base objective's temperature for the gradient loss.
+        assert method.objective.grad_tau == 0.2
+
+    def test_rewrap_replaces_weight(self):
+        method = self.FakeMethod()
+        gradgcl(method, 0.4)
+        gradgcl(method, 0.9)
+        assert method.objective.weight == 0.9
+        assert isinstance(method.objective.base, InfoNCEObjective)
+
+    def test_explicit_grad_tau(self):
+        method = self.FakeMethod()
+        gradgcl(method, 0.5, grad_tau=0.7)
+        assert method.objective.grad_tau == 0.7
+
+
+class TestAlignmentBaseline:
+    def test_interpolates(self, rng):
+        u, v = views(rng)
+        base = InfoNCEObjective()
+        obj = AlignmentAugmentedObjective(base=base, weight=0.0)
+        np.testing.assert_allclose(obj.loss(u, v).item(),
+                                   base.loss(u, v).item(), atol=1e-12)
+        obj_full = AlignmentAugmentedObjective(base=base, weight=1.0)
+        from repro.losses import alignment_loss
+        np.testing.assert_allclose(obj_full.loss(u, v).item(),
+                                   alignment_loss(u, v).item(), atol=1e-12)

@@ -1,0 +1,139 @@
+"""Generator primitives: ER/BA/ring edges, motif planting, SBM structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    MOTIFS,
+    barabasi_albert_edges,
+    class_prototypes,
+    erdos_renyi_edges,
+    graph_classification_sample,
+    plant_motif,
+    ring_lattice_edges,
+    sbm_node_graph,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestEdgeGenerators:
+    def test_erdos_renyi_density(self, rng):
+        edges = erdos_renyi_edges(40, 0.3, rng)
+        possible = 40 * 39 // 2
+        assert 0.2 < len(edges) / possible < 0.4
+
+    def test_erdos_renyi_extremes(self, rng):
+        assert erdos_renyi_edges(10, 0.0, rng).size == 0
+        full = erdos_renyi_edges(10, 1.0, rng)
+        assert len(full) == 45
+        assert erdos_renyi_edges(1, 0.5, rng).size == 0
+
+    def test_erdos_renyi_canonical(self, rng):
+        edges = erdos_renyi_edges(20, 0.5, rng)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_barabasi_albert_connected_tail(self, rng):
+        edges = barabasi_albert_edges(30, 2, rng)
+        g = Graph(30, edges, np.zeros((30, 1)))
+        # Every node beyond the seed attaches with m edges.
+        assert (g.degrees()[2:] >= 1).all()
+
+    def test_barabasi_albert_hub_formation(self, rng):
+        edges = barabasi_albert_edges(100, 2, rng)
+        g = Graph(100, edges, np.zeros((100, 1)))
+        degrees = g.degrees()
+        # Preferential attachment produces a heavy tail.
+        assert degrees.max() > 3 * np.median(degrees)
+
+    def test_ring_lattice(self):
+        edges = ring_lattice_edges(8, k=2)
+        g = Graph(8, edges, np.zeros((8, 1)))
+        np.testing.assert_array_equal(g.degrees(), np.full(8, 4))
+
+
+class TestMotifs:
+    def test_vocabulary(self):
+        assert {"triangle", "square", "clique4", "star4", "path4",
+                "pentagon"} == set(MOTIFS)
+
+    def test_plant_adds_motif_edges(self, rng):
+        base = np.empty((0, 2), dtype=np.int64)
+        edges = plant_motif(base, 10, "triangle", rng)
+        assert len(edges) == 3
+        g = Graph(10, edges, np.zeros((10, 1)))
+        degrees = g.degrees()
+        assert sorted(degrees[degrees > 0]) == [2, 2, 2]
+
+    def test_plant_on_too_small_graph(self, rng):
+        base = np.array([[0, 1]])
+        edges = plant_motif(base, 2, "clique4", rng)
+        np.testing.assert_array_equal(edges, base)
+
+    def test_plant_deduplicates(self, rng):
+        # Planting over existing edges must not create duplicates.
+        base = erdos_renyi_edges(6, 1.0, rng)  # complete graph
+        edges = plant_motif(base, 6, "triangle", rng)
+        assert len(edges) == len(base)
+
+
+class TestPrototypesAndSamples:
+    def test_prototypes_unit_norm(self, rng):
+        protos = class_prototypes(5, 16, rng)
+        np.testing.assert_allclose(np.linalg.norm(protos, axis=1), 1.0)
+
+    def test_prototypes_near_orthogonal(self, rng):
+        protos = class_prototypes(4, 64, rng)
+        gram = protos @ protos.T
+        off = gram[~np.eye(4, dtype=bool)]
+        assert np.abs(off).max() < 0.5
+
+    def test_sample_label_validation(self, rng):
+        protos = class_prototypes(2, 4, rng)
+        with pytest.raises(ValueError):
+            graph_classification_sample(5, 2, 10, 4, protos, rng)
+
+    def test_sample_no_isolated_nodes(self, rng):
+        protos = class_prototypes(2, 4, rng)
+        for _ in range(5):
+            g = graph_classification_sample(0, 2, 12, 4, protos, rng)
+            assert (g.degrees() > 0).all()
+
+    def test_structure_strength_adds_edges(self, rng):
+        protos = class_prototypes(2, 4, rng)
+        weak = [graph_classification_sample(1, 2, 20, 4, protos,
+                                            np.random.default_rng(s),
+                                            structure_strength=0.2)
+                for s in range(10)]
+        strong = [graph_classification_sample(1, 2, 20, 4, protos,
+                                              np.random.default_rng(s),
+                                              structure_strength=2.0)
+                  for s in range(10)]
+        assert (np.mean([g.num_edges for g in strong])
+                > np.mean([g.num_edges for g in weak]))
+
+
+class TestSBM:
+    def test_label_coverage(self, rng):
+        g = sbm_node_graph(200, 4, 8, rng)
+        assert set(np.unique(g.node_y)) == {0, 1, 2, 3}
+
+    def test_block_structure(self, rng):
+        g = sbm_node_graph(300, 3, 8, rng, p_in=0.2, p_out=0.01)
+        same = (g.node_y[g.edges[:, 0]] == g.node_y[g.edges[:, 1]]).mean()
+        assert same > 0.8
+
+    def test_feature_prototype_signal(self, rng):
+        g = sbm_node_graph(300, 3, 16, rng, feature_noise=0.5)
+        means = np.stack([g.x[g.node_y == c].mean(axis=0)
+                          for c in range(3)])
+        distances = np.linalg.norm(means[0] - means[1])
+        assert distances > 0.5
+
+    def test_class_count_validation(self, rng):
+        with pytest.raises(ValueError):
+            sbm_node_graph(50, 1, 8, rng)

@@ -1,0 +1,38 @@
+"""Macro-F1 metric."""
+
+import numpy as np
+import pytest
+
+from repro.eval import macro_f1
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y) == 1.0
+
+    def test_known_value(self):
+        # Class 0: tp=1 fp=1 fn=0 -> F1 = 2/3; class 1: tp=1 fp=0 fn=1
+        # -> F1 = 2/3; macro = 2/3.
+        predictions = np.array([0, 0, 1])
+        labels = np.array([0, 1, 1])
+        assert macro_f1(predictions, labels) == pytest.approx(2 / 3)
+
+    def test_penalizes_ignored_minority(self):
+        # Majority-only predictor: accuracy is high, macro-F1 is low.
+        labels = np.array([0] * 9 + [1])
+        predictions = np.zeros(10, dtype=int)
+        acc = (predictions == labels).mean()
+        f1 = macro_f1(predictions, labels)
+        assert acc == 0.9
+        assert f1 < 0.5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            macro_f1(np.ones(3), np.ones(4))
+
+    def test_handles_predicted_only_class(self):
+        predictions = np.array([0, 3])
+        labels = np.array([0, 0])
+        # Class 3 has no true members but was predicted: F1 = 0 for it.
+        assert macro_f1(predictions, labels) < 1.0

@@ -1,0 +1,120 @@
+"""Evaluation protocols, similarity analysis, and t-SNE."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    evaluate_graph_embeddings,
+    evaluate_node_embeddings,
+    intra_inter_class_similarity,
+    similarity_diversity,
+    sorted_similarity_matrix,
+    tsne,
+)
+
+
+def clustered_embeddings(rng, per_class=30, classes=2, dim=8, sep=4.0):
+    centers = rng.normal(size=(classes, dim)) * sep
+    x = np.concatenate([rng.normal(loc=c, size=(per_class, dim))
+                        for c in centers])
+    y = np.repeat(np.arange(classes), per_class)
+    return x, y
+
+
+class TestGraphProtocol:
+    def test_separable_high_accuracy(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng)
+        mean, std = evaluate_graph_embeddings(x, y, folds=5, repeats=2)
+        assert mean > 90.0
+        assert std >= 0.0
+
+    def test_random_near_chance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 8))
+        y = rng.integers(0, 2, size=100)
+        mean, _ = evaluate_graph_embeddings(x, y, folds=5, repeats=2)
+        assert 25.0 < mean < 75.0
+
+    def test_sgd_classifier_path(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng)
+        mean, _ = evaluate_graph_embeddings(x, y, classifier="sgd",
+                                            folds=5, repeats=1)
+        assert mean > 85.0
+
+    def test_returns_percent_scale(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng)
+        mean, _ = evaluate_graph_embeddings(x, y, folds=5, repeats=1)
+        assert 0.0 <= mean <= 100.0
+
+
+class TestNodeProtocol:
+    def test_separable(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng, per_class=50)
+        train = np.zeros(100, dtype=bool)
+        train[rng.choice(100, 30, replace=False)] = True
+        test = ~train
+        mean, std = evaluate_node_embeddings(x, y, train, test)
+        assert mean > 90.0
+
+
+class TestSimilarity:
+    def test_sorted_matrix_block_structure(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng, per_class=10)
+        shuffled = rng.permutation(20)
+        sims = sorted_similarity_matrix(x[shuffled], y[shuffled])
+        # Intra-class block mean should exceed inter-class block mean.
+        intra = (sims[:10, :10].mean() + sims[10:, 10:].mean()) / 2
+        inter = sims[:10, 10:].mean()
+        assert intra > inter
+
+    def test_intra_inter(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng, per_class=15)
+        intra, inter = intra_inter_class_similarity(x, y)
+        assert intra > inter
+
+    def test_intra_inter_validation(self):
+        with pytest.raises(ValueError):
+            intra_inter_class_similarity(np.ones((3, 2)),
+                                         np.array([0, 0, 0]))
+
+    def test_diversity_orders_saturated_vs_spread(self):
+        rng = np.random.default_rng(0)
+        # Saturated: two tight clusters -> similarities near +/-1.
+        saturated, _ = clustered_embeddings(rng, per_class=20, sep=50.0)
+        spread = rng.normal(size=(40, 8))
+        assert similarity_diversity(saturated) > 0  # sanity
+        # Random spread has mid-range similarities with smaller |values| but
+        # the *saturated* case has extreme bimodal values -> higher std.
+        assert (similarity_diversity(saturated)
+                != similarity_diversity(spread))
+
+
+class TestTSNE:
+    def test_preserves_cluster_structure(self):
+        rng = np.random.default_rng(0)
+        x, y = clustered_embeddings(rng, per_class=15, sep=8.0)
+        emb = tsne(x, iterations=150, seed=0)
+        assert emb.shape == (30, 2)
+        # Same-class points end up closer on average than cross-class.
+        from repro.eval import intra_inter_class_similarity
+        dists = ((emb[:, None] - emb[None, :]) ** 2).sum(axis=2)
+        same = y[:, None] == y[None, :]
+        off = ~np.eye(30, dtype=bool)
+        assert dists[same & off].mean() < dists[~same].mean()
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            tsne(np.ones((3, 4)))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(12, 5))
+        a = tsne(x, iterations=50, seed=1)
+        b = tsne(x, iterations=50, seed=1)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,51 @@
+"""SGDClassifier specifics (the large-dataset path of Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import SGDClassifier
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    x = np.concatenate([rng.normal(-2, size=(80, 3)),
+                        rng.normal(2, size=(80, 3))])
+    y = np.repeat([0, 1], 80)
+    return x, y
+
+
+class TestSGDClassifier:
+    def test_deterministic_given_seed(self, data):
+        x, y = data
+        a = SGDClassifier(seed=3).fit(x, y)
+        b = SGDClassifier(seed=3).fit(x, y)
+        np.testing.assert_array_equal(a.weight, b.weight)
+
+    def test_seed_changes_result(self, data):
+        x, y = data
+        a = SGDClassifier(seed=3, epochs=1).fit(x, y)
+        b = SGDClassifier(seed=4, epochs=1).fit(x, y)
+        assert not np.array_equal(a.weight, b.weight)
+
+    def test_more_epochs_do_not_hurt_much(self, data):
+        x, y = data
+        short = SGDClassifier(epochs=1).fit(x, y).score(x, y)
+        long = SGDClassifier(epochs=30).fit(x, y).score(x, y)
+        assert long >= short - 0.05
+
+    def test_small_batches(self, data):
+        x, y = data
+        model = SGDClassifier(batch_size=4, epochs=5).fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_batch_larger_than_data(self, data):
+        x, y = data
+        model = SGDClassifier(batch_size=10_000, epochs=10).fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_regularization_bounds_weights(self, data):
+        x, y = data
+        weak = SGDClassifier(l2=0.0, epochs=20).fit(x, y)
+        strong = SGDClassifier(l2=1.0, epochs=20).fit(x, y)
+        assert np.abs(strong.weight).sum() < np.abs(weak.weight).sum()

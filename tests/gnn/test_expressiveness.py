@@ -1,0 +1,79 @@
+"""GNN expressiveness checks tied to the WL hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GINEncoder
+from repro.graph import Graph, GraphBatch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def encode(encoder, graphs):
+    encoder.eval()
+    _, h = encoder(GraphBatch(graphs))
+    return h.data
+
+
+class TestGINExpressiveness:
+    def test_wl_blindspot_c6_vs_two_triangles(self, rng):
+        # C6 vs 2xC3 is the textbook 1-WL-indistinguishable pair; GIN is
+        # exactly as powerful as 1-WL, so it must map them identically.
+        # (A correct GIN *failing* here would be a bug in the other
+        # direction: more power than the theory allows.)
+        ones = np.ones((6, 3))
+        c6 = Graph(6, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [0, 5]],
+                   ones)
+        two_c3 = Graph(6, [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]],
+                       ones)
+        encoder = GINEncoder(3, 16, num_layers=3, rng=rng,
+                             batch_norm=False)
+        emb = encode(encoder, [c6, two_c3])
+        np.testing.assert_allclose(emb[0], emb[1], atol=1e-8)
+
+    def test_distinguishes_path_from_star(self, rng):
+        # Different degree multisets -> different WL colourings -> a random
+        # GIN separates them.
+        ones = np.ones((4, 3))
+        path = Graph(4, [[0, 1], [1, 2], [2, 3]], ones)
+        star = Graph(4, [[0, 1], [0, 2], [0, 3]], ones)
+        encoder = GINEncoder(3, 16, num_layers=2, rng=rng,
+                             batch_norm=False)
+        emb = encode(encoder, [path, star])
+        assert np.abs(emb[0] - emb[1]).max() > 1e-6
+
+    def test_cannot_distinguish_wl_equivalent_pair(self, rng):
+        # GIN is bounded by 1-WL: two WL-indistinguishable graphs (here,
+        # isomorphic ones) must map to identical embeddings.
+        ones = np.ones((4, 3))
+        square_a = Graph(4, [[0, 1], [1, 2], [2, 3], [0, 3]], ones)
+        square_b = Graph(4, [[0, 2], [2, 1], [1, 3], [0, 3]], ones)
+        encoder = GINEncoder(3, 16, num_layers=3, rng=rng,
+                             batch_norm=False)
+        emb = encode(encoder, [square_a, square_b])
+        np.testing.assert_allclose(emb[0], emb[1], atol=1e-8)
+
+    def test_sum_readout_sees_size(self, rng):
+        # Sum readout distinguishes graphs differing only in node count.
+        ones3, ones5 = np.ones((3, 2)), np.ones((5, 2))
+        small = Graph(3, [[0, 1], [1, 2]], ones3)
+        large = Graph(5, [[0, 1], [1, 2], [2, 3], [3, 4]], ones5)
+        encoder = GINEncoder(2, 8, num_layers=2, rng=rng, batch_norm=False,
+                             readout_mode="sum")
+        emb = encode(encoder, [small, large])
+        assert np.abs(emb[0] - emb[1]).max() > 1e-6
+
+    def test_mean_readout_size_invariant_on_regular_graphs(self, rng):
+        # Mean readout on k-regular graphs with constant features cannot
+        # see the node count (all nodes are locally identical).
+        ones4, ones6 = np.ones((4, 2)), np.ones((6, 2))
+        c4 = Graph(4, [[0, 1], [1, 2], [2, 3], [0, 3]], ones4)
+        c6 = Graph(6, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [0, 5]],
+                   ones6)
+        encoder = GINEncoder(2, 8, num_layers=2, rng=rng, batch_norm=False,
+                             readout_mode="mean")
+        emb = encode(encoder, [c4, c6])
+        np.testing.assert_allclose(emb[0], emb[1], atol=1e-8)

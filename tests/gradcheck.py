@@ -1,0 +1,46 @@
+"""Numerical gradient checking helpers shared by the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn().item()
+        flat[i] = original - eps
+        lower = fn().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def assert_gradients_match(fn: Callable[[], Tensor], *tensors: Tensor,
+                           atol: float = 1e-5, rtol: float = 1e-4) -> None:
+    """Check autograd gradients of scalar ``fn()`` against finite differences.
+
+    ``fn`` must rebuild the graph from the given leaf tensors on every call
+    (so the numerical probe sees perturbed values).
+    """
+    for t in tensors:
+        t.grad = None
+    out = fn()
+    assert out.size == 1, "gradcheck needs a scalar objective"
+    out.backward()
+    for t in tensors:
+        assert t.grad is not None, "missing analytic gradient"
+        expected = numerical_gradient(fn, t)
+        np.testing.assert_allclose(
+            t.grad, expected, atol=atol, rtol=rtol,
+            err_msg="autograd does not match finite differences")

@@ -1,0 +1,81 @@
+"""Graph statistics correctness against known small graphs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    density,
+    graph_summary,
+)
+
+
+@pytest.fixture
+def triangle():
+    return Graph(3, [[0, 1], [1, 2], [0, 2]], np.eye(3))
+
+
+@pytest.fixture
+def path():
+    return Graph(4, [[0, 1], [1, 2], [2, 3]], np.eye(4))
+
+
+class TestDensity:
+    def test_complete_graph(self, triangle):
+        assert density(triangle) == 1.0
+
+    def test_path(self, path):
+        assert density(path) == pytest.approx(0.5)
+
+    def test_singleton(self):
+        assert density(Graph(1, np.empty((0, 2)), np.eye(1))) == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_one(self, triangle):
+        assert clustering_coefficient(triangle) == pytest.approx(1.0)
+
+    def test_path_is_zero(self, path):
+        assert clustering_coefficient(path) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        rng = np.random.default_rng(0)
+        nxg = nx.gnp_random_graph(25, 0.3, seed=1)
+        g = Graph.from_networkx(nxg)
+        np.testing.assert_allclose(clustering_coefficient(g),
+                                   nx.transitivity(nxg), atol=1e-10)
+
+
+class TestDegreesAndComponents:
+    def test_degree_histogram(self, path):
+        np.testing.assert_array_equal(degree_histogram(path), [0, 2, 2])
+
+    def test_degree_histogram_cap(self, triangle):
+        np.testing.assert_array_equal(degree_histogram(triangle, 1),
+                                      [0, 3])
+
+    def test_connected_components(self):
+        g = Graph(5, [[0, 1], [2, 3]], np.eye(5))
+        assert connected_components(g) == 3
+
+    def test_single_component(self, triangle):
+        assert connected_components(triangle) == 1
+
+    def test_matches_networkx(self):
+        nxg = nx.gnp_random_graph(30, 0.05, seed=3)
+        g = Graph.from_networkx(nxg)
+        assert connected_components(g) == nx.number_connected_components(nxg)
+
+
+class TestSummary:
+    def test_fields(self, triangle):
+        summary = graph_summary(triangle)
+        assert summary["nodes"] == 3
+        assert summary["edges"] == 3
+        assert summary["components"] == 1
+        assert summary["max_degree"] == 2
+        assert summary["mean_degree"] == pytest.approx(2.0)

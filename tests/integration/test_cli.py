@@ -1,0 +1,71 @@
+"""Command-line interface smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train-graph"])
+        assert args.method == "SimGRACE"
+        assert args.weight == 0.0
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train-graph", "--method", "Nope"])
+
+
+class TestCommands:
+    def test_datasets_tu(self, capsys):
+        assert main(["datasets", "--family", "tu", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "MUTAG" in out
+
+    def test_datasets_all(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out
+
+    def test_train_graph_with_gradgcl_and_save(self, tmp_path, capsys):
+        ckpt = tmp_path / "enc.npz"
+        code = main(["train-graph", "--method", "GraphCL", "--dataset",
+                     "MUTAG", "--weight", "0.5", "--epochs", "2",
+                     "--scale", "tiny", "--hidden-dim", "8",
+                     "--save", str(ckpt)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert ckpt.exists()
+
+    def test_train_node(self, capsys):
+        code = main(["train-node", "--method", "GRACE", "--dataset",
+                     "Cora", "--epochs", "2", "--scale", "tiny",
+                     "--hidden-dim", "16", "--out-dim", "8"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_spectrum(self, capsys):
+        code = main(["spectrum", "--dataset", "IMDB-B", "--epochs", "2",
+                     "--scale", "tiny"])
+        assert code == 0
+        assert "effective-rank" in capsys.readouterr().out
+
+    def test_flow(self, capsys):
+        code = main(["flow", "--weight", "0.5", "--steps", "20",
+                     "--samples", "10", "--dim", "5"])
+        assert code == 0
+        assert "gradient flow" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--method", "GraphCL", "--dataset", "MUTAG",
+                     "--weights", "0.0", "0.5", "--epochs", "1",
+                     "--scale", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a=0.0" in out and "a=0.5" in out

@@ -1,0 +1,63 @@
+"""Hard-negative-weighted InfoNCE (the explicit competitor to GradGCL)."""
+
+import numpy as np
+import pytest
+
+from repro.losses import hard_negative_info_nce, info_nce
+from repro.tensor import Tensor
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+class TestHardNegativeInfoNCE:
+    def test_beta_zero_recovers_plain(self, rng):
+        u = Tensor(rng.normal(size=(6, 4)))
+        v = Tensor(rng.normal(size=(6, 4)))
+        hard = hard_negative_info_nce(u, v, tau=0.5, beta=0.0).item()
+        plain = info_nce(u, v, tau=0.5, sim="cos", symmetric=False).item()
+        np.testing.assert_allclose(hard, plain, atol=1e-8)
+
+    def test_beta_raises_loss_with_hard_negatives(self, rng):
+        # With one near-duplicate negative, up-weighting it increases the
+        # loss (it dominates the denominator).
+        base = np.eye(4)
+        u = Tensor(base)
+        v_data = base.copy()
+        v_data[1] = 0.95 * base[0] + 0.05 * base[1]  # hard negative of u_0
+        v = Tensor(v_data)
+        low = hard_negative_info_nce(u, v, tau=0.5, beta=0.0).item()
+        high = hard_negative_info_nce(u, v, tau=0.5, beta=4.0).item()
+        assert high > low
+
+    def test_gradcheck(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_match(
+            lambda: hard_negative_info_nce(u, v, tau=0.5, beta=1.0), u, v,
+            atol=1e-4, rtol=1e-3)
+
+    def test_perfect_alignment_still_low(self, rng):
+        x = rng.normal(size=(8, 5))
+        aligned = hard_negative_info_nce(Tensor(x), Tensor(x), tau=0.1,
+                                         beta=1.0).item()
+        shuffled = hard_negative_info_nce(Tensor(x),
+                                          Tensor(x[::-1].copy()),
+                                          tau=0.1, beta=1.0).item()
+        assert aligned < shuffled
+
+    def test_validation(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError, match="beta"):
+            hard_negative_info_nce(u, u, beta=-1.0)
+        with pytest.raises(ValueError, match="temperature"):
+            hard_negative_info_nce(u, u, tau=0.0)
+        with pytest.raises(ValueError, match="shapes"):
+            hard_negative_info_nce(u, Tensor(np.zeros((3, 3))))
+        with pytest.raises(ValueError, match="at least 2"):
+            hard_negative_info_nce(Tensor(np.ones((1, 3))),
+                                   Tensor(np.ones((1, 3))))

@@ -1,0 +1,98 @@
+"""InfoNCE / NT-Xent behaviour: bounds, ordering, and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.losses import info_nce, nt_xent, similarity_matrix
+from repro.tensor import Tensor
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestInfoNCE:
+    def test_mi_lower_bound_shape(self, rng):
+        # loss >= 0 is not guaranteed, but loss <= log(N) at the optimum is:
+        # perfectly aligned positives with orthogonal negatives drive the
+        # loss towards 0, far below log(N) for random embeddings.
+        n = 8
+        aligned = Tensor(np.eye(n) * 10.0)
+        random = Tensor(rng.normal(size=(n, n)))
+        good = info_nce(aligned, aligned, tau=0.1, sim="dot").item()
+        bad = info_nce(random, Tensor(rng.normal(size=(n, n))),
+                       tau=0.1, sim="dot").item()
+        assert good < bad
+
+    def test_perfect_alignment_is_minimal(self, rng):
+        x = rng.normal(size=(6, 4))
+        perfect = info_nce(Tensor(x), Tensor(x), tau=0.5).item()
+        shuffled = info_nce(Tensor(x), Tensor(x[::-1].copy()), tau=0.5).item()
+        assert perfect < shuffled
+
+    def test_symmetric_averages_directions(self, rng):
+        u = Tensor(rng.normal(size=(5, 3)))
+        v = Tensor(rng.normal(size=(5, 3)))
+        sym = info_nce(u, v, symmetric=True).item()
+        asym = 0.5 * (info_nce(u, v, symmetric=False).item()
+                      + info_nce(v, u, symmetric=False).item())
+        np.testing.assert_allclose(sym, asym, atol=1e-12)
+
+    def test_gradcheck_cos(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_match(lambda: info_nce(u, v, tau=0.5, sim="cos"),
+                               u, v)
+
+    def test_gradcheck_euclid(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_match(lambda: info_nce(u, v, sim="euclid"), u, v)
+
+    def test_temperature_sharpens(self, rng):
+        # Lower temperature puts more weight on hard negatives: with one near
+        # duplicate negative, the low-tau loss is higher.
+        u = np.array([[1.0, 0.0], [0.99, 0.14], [0.0, 1.0]])
+        v = u.copy()
+        low = info_nce(Tensor(u), Tensor(v), tau=0.05, sim="cos").item()
+        high = info_nce(Tensor(u), Tensor(v), tau=5.0, sim="cos").item()
+        assert low != high
+
+    def test_errors(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError, match="shapes"):
+            info_nce(u, Tensor(rng.normal(size=(3, 3))))
+        with pytest.raises(ValueError, match="at least 2"):
+            info_nce(Tensor(np.ones((1, 3))), Tensor(np.ones((1, 3))))
+        with pytest.raises(ValueError, match="temperature"):
+            info_nce(u, u, tau=-1.0)
+
+    def test_similarity_modes(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(rng.normal(size=(5, 4)))
+        assert similarity_matrix(a, b, "dot").shape == (3, 5)
+        cos = similarity_matrix(a, b, "cos").data
+        assert (np.abs(cos) <= 1 + 1e-9).all()
+        euc = similarity_matrix(a, b, "euclid").data
+        assert (euc <= 1e-12).all()
+        with pytest.raises(ValueError):
+            similarity_matrix(a, b, "nope")
+
+
+class TestNTXent:
+    def test_runs_and_orders(self, rng):
+        x = rng.normal(size=(6, 4))
+        noisy = x + 0.01 * rng.normal(size=x.shape)
+        good = nt_xent(Tensor(x), Tensor(noisy), tau=0.5).item()
+        bad = nt_xent(Tensor(x), Tensor(rng.normal(size=x.shape)),
+                      tau=0.5).item()
+        assert good < bad
+
+    def test_gradcheck(self, rng):
+        u = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        assert_gradients_match(lambda: nt_xent(u, v, tau=0.5), u, v,
+                               atol=1e-4, rtol=1e-3)

@@ -1,0 +1,132 @@
+"""JSD, SCE, bootstrap, and alignment/uniformity loss behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.losses import (
+    alignment_loss,
+    bootstrap_cosine_loss,
+    jsd_bipartite_loss,
+    jsd_loss,
+    sce_loss,
+    uniformity_loss,
+)
+from repro.tensor import Tensor
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestJSD:
+    def test_aligned_better_than_random(self, rng):
+        x = rng.normal(size=(6, 4))
+        good = jsd_loss(Tensor(x), Tensor(x)).item()
+        bad = jsd_loss(Tensor(x), Tensor(rng.normal(size=(6, 4)))).item()
+        assert good < bad
+
+    def test_gradcheck(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_match(lambda: jsd_loss(u, v), u, v)
+
+    def test_bipartite_mask_validation(self, rng):
+        local = Tensor(rng.normal(size=(4, 3)))
+        global_ = Tensor(rng.normal(size=(2, 3)))
+        with pytest.raises(ValueError, match="mask shape"):
+            jsd_bipartite_loss(local, global_, np.ones((3, 2), dtype=bool))
+        with pytest.raises(ValueError, match="positive and negative"):
+            jsd_bipartite_loss(local, global_, np.ones((4, 2), dtype=bool))
+
+    def test_bipartite_gradcheck(self, rng):
+        local = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        global_ = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        mask = np.zeros((4, 2), dtype=bool)
+        mask[:2, 0] = True
+        mask[2:, 1] = True
+        assert_gradients_match(
+            lambda: jsd_bipartite_loss(local, global_, mask), local, global_)
+
+
+class TestSCE:
+    def test_perfect_reconstruction_zero(self, rng):
+        x = rng.normal(size=(5, 4))
+        assert sce_loss(Tensor(x), Tensor(x)).item() < 1e-12
+
+    def test_scale_invariance(self, rng):
+        x = rng.normal(size=(5, 4))
+        y = rng.normal(size=(5, 4))
+        a = sce_loss(Tensor(x), Tensor(y)).item()
+        b = sce_loss(Tensor(3.0 * x), Tensor(y)).item()
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_gamma_validation(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)))
+        with pytest.raises(ValueError, match="gamma"):
+            sce_loss(x, x, gamma=0.5)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        y = Tensor(rng.normal(size=(4, 3)))
+        assert_gradients_match(lambda: sce_loss(x, y), x)
+
+
+class TestBootstrap:
+    def test_range(self, rng):
+        p = Tensor(rng.normal(size=(6, 4)))
+        z = Tensor(rng.normal(size=(6, 4)))
+        loss = bootstrap_cosine_loss(p, z).item()
+        assert 0.0 <= loss <= 4.0
+
+    def test_aligned_is_zero(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert bootstrap_cosine_loss(Tensor(x), Tensor(5 * x)).item() < 1e-10
+
+    def test_target_is_detached(self, rng):
+        p = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        z = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        bootstrap_cosine_loss(p, z).backward()
+        assert p.grad is not None
+        assert z.grad is None
+
+
+class TestAlignUniform:
+    def test_alignment_zero_for_identical_views(self, rng):
+        x = rng.normal(size=(5, 4))
+        assert alignment_loss(Tensor(x), Tensor(x)).item() < 1e-12
+
+    def test_alignment_grows_with_noise(self, rng):
+        x = rng.normal(size=(20, 8))
+        small = alignment_loss(Tensor(x), Tensor(x + 0.01)).item()
+        large = alignment_loss(Tensor(x), Tensor(x + 1.0)).item()
+        assert small < large
+
+    def test_uniformity_prefers_spread(self, rng):
+        # Points spread over the sphere beat points collapsed to one spot.
+        spread = rng.normal(size=(30, 6))
+        collapsed = np.ones((30, 6)) + 0.001 * rng.normal(size=(30, 6))
+        assert (uniformity_loss(Tensor(spread)).item()
+                < uniformity_loss(Tensor(collapsed)).item())
+
+    def test_uniformity_lower_bound(self, rng):
+        # log E[exp(-t d^2)] >= -4t on the unit sphere (max distance 2).
+        x = rng.normal(size=(10, 4))
+        assert uniformity_loss(Tensor(x), t=2.0).item() >= -8.0 - 1e-9
+
+    def test_gradchecks(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradients_match(lambda: alignment_loss(u, v), u, v)
+        assert_gradients_match(lambda: uniformity_loss(u), u)
+
+    def test_validation(self, rng):
+        u = Tensor(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError, match="alpha"):
+            alignment_loss(u, u, alpha=0.0)
+        with pytest.raises(ValueError, match="t must"):
+            uniformity_loss(u, t=0.0)
+        with pytest.raises(ValueError, match="at least 2"):
+            uniformity_loss(Tensor(np.ones((1, 3))))

@@ -1,0 +1,50 @@
+"""Weight-initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init as init_schemes
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGlorot:
+    def test_bounds(self, rng):
+        w = init_schemes.glorot_uniform(64, 32, rng)
+        limit = np.sqrt(6.0 / 96)
+        assert w.shape == (64, 32)
+        assert np.abs(w).max() <= limit
+
+    def test_variance_matches_formula(self, rng):
+        w = init_schemes.glorot_uniform(300, 300, rng)
+        # Uniform(-l, l) has variance l^2/3 = 2/(fan_in+fan_out).
+        expected = 2.0 / 600
+        assert abs(w.var() - expected) / expected < 0.1
+
+
+class TestKaiming:
+    def test_bounds(self, rng):
+        w = init_schemes.kaiming_uniform(50, 20, rng)
+        limit = np.sqrt(6.0 / 50)
+        assert np.abs(w).max() <= limit
+        assert w.shape == (50, 20)
+
+    def test_depends_only_on_fan_in(self, rng):
+        w1 = init_schemes.kaiming_uniform(100, 10, np.random.default_rng(1))
+        w2 = init_schemes.kaiming_uniform(100, 500, np.random.default_rng(1))
+        assert abs(np.abs(w1).max() - np.abs(w2).max()) < 0.05
+
+
+class TestOthers:
+    def test_zeros(self):
+        z = init_schemes.zeros(3, 4)
+        assert z.shape == (3, 4)
+        assert (z == 0).all()
+
+    def test_normal(self, rng):
+        w = init_schemes.normal((2000,), std=0.5, rng=rng)
+        assert abs(w.std() - 0.5) < 0.05
+        assert abs(w.mean()) < 0.05

@@ -1,0 +1,110 @@
+"""Module/Parameter traversal, modes, and state management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Module, ModuleList, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+class Nested(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(3, 4, rng=rng)
+        self.tower = ModuleList([Linear(4, 4, rng=rng) for _ in range(2)])
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        x = self.first(x)
+        for layer in self.tower:
+            x = layer(x)
+        return x * self.scale
+
+
+class TestTraversal:
+    def test_named_parameters_are_unique_and_complete(self, rng):
+        model = Nested(rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+        # first (W+b), two tower layers (W+b each), scale.
+        assert len(names) == 7
+        assert "first.weight" in names
+        assert "tower.items.0.weight" in names
+        assert "scale" in names
+
+    def test_num_parameters(self, rng):
+        model = Linear(3, 4, rng=rng)
+        assert model.num_parameters() == 3 * 4 + 4
+
+    def test_modules_recursion(self, rng):
+        model = Nested(rng)
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("Linear") == 3
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        model = Nested(rng)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        model = Linear(2, 2, rng=rng)
+        out = model(Tensor(np.ones((3, 2)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestState:
+    def test_state_dict_roundtrip(self, rng):
+        a = Nested(rng)
+        b = Nested(np.random.default_rng(99))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_copies(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"][0, 0] = 123.0
+        assert model.weight.data[0, 0] != 123.0
+
+    def test_load_rejects_mismatched_keys(self, rng):
+        model = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_rejects_wrong_shape(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_clone_is_independent(self, rng):
+        model = Linear(2, 2, rng=rng)
+        twin = model.clone()
+        twin.weight.data[0, 0] += 5.0
+        assert model.weight.data[0, 0] != twin.weight.data[0, 0]
+
+
+class TestSequential:
+    def test_runs_in_order(self, rng):
+        model = Sequential(Linear(2, 3, rng=rng), Linear(3, 1, rng=rng))
+        out = model(Tensor(np.ones((4, 2))))
+        assert out.shape == (4, 1)
+
+    def test_mlp_dims_validation(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng=rng)

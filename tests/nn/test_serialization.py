@@ -1,0 +1,46 @@
+"""Checkpoint save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GINEncoder
+from repro.nn import Linear, load_module, save_module
+
+
+class TestSerialization:
+    def test_roundtrip_linear(self, tmp_path):
+        rng = np.random.default_rng(0)
+        original = Linear(4, 3, rng=rng)
+        path = tmp_path / "ckpt.npz"
+        save_module(original, path)
+        fresh = Linear(4, 3, rng=np.random.default_rng(9))
+        load_module(fresh, path)
+        np.testing.assert_array_equal(fresh.weight.data,
+                                      original.weight.data)
+        np.testing.assert_array_equal(fresh.bias.data, original.bias.data)
+
+    def test_roundtrip_nested_encoder(self, tmp_path):
+        rng = np.random.default_rng(0)
+        original = GINEncoder(5, 8, 2, rng=rng)
+        path = tmp_path / "encoder.npz"
+        save_module(original, path)
+        fresh = GINEncoder(5, 8, 2, rng=np.random.default_rng(7))
+        load_module(fresh, path)
+        for (na, pa), (nb, pb) in zip(original.named_parameters(),
+                                      fresh.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_mismatched_architecture_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        path = tmp_path / "ckpt.npz"
+        save_module(Linear(4, 3, rng=rng), path)
+        wrong = Linear(4, 5, rng=rng)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(wrong, path)
+
+    def test_empty_module_rejected(self, tmp_path):
+        from repro.nn import Identity
+
+        with pytest.raises(ValueError):
+            save_module(Identity(), tmp_path / "x.npz")

@@ -1,0 +1,118 @@
+"""Gradient correctness of broadcasting arithmetic primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def leaf(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_promotion(self):
+        out = Tensor([1.0, 2.0]) + 1.5
+        np.testing.assert_allclose(out.data, [2.5, 3.5])
+
+    def test_reverse_ops(self):
+        t = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((10.0 - t).data, [8.0, 6.0])
+        np.testing.assert_allclose((8.0 / t).data, [4.0, 2.0])
+        np.testing.assert_allclose((3.0 * t).data, [6.0, 12.0])
+        np.testing.assert_allclose((1.0 + t).data, [3.0, 5.0])
+
+    def test_pow(self):
+        out = Tensor([2.0, 3.0]) ** 2
+        np.testing.assert_allclose(out.data, [4.0, 9.0])
+
+    def test_broadcast_shapes(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        b = Tensor(rng.normal(size=(4,)))
+        assert (a + b).shape == (3, 4)
+        assert (a * b).shape == (3, 4)
+        c = Tensor(rng.normal(size=(3, 1)))
+        assert (a - c).shape == (3, 4)
+
+
+class TestGradients:
+    def test_add_same_shape(self, rng):
+        a, b = leaf(rng, 3, 2), leaf(rng, 3, 2)
+        assert_gradients_match(lambda: (a + b).sum(), a, b)
+
+    def test_add_broadcast_row(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4)
+        assert_gradients_match(lambda: ((a + b) * (a + b)).sum(), a, b)
+
+    def test_add_broadcast_column(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 3, 1)
+        assert_gradients_match(lambda: ((a + b) ** 2).sum(), a, b)
+
+    def test_sub(self, rng):
+        a, b = leaf(rng, 2, 5), leaf(rng, 5)
+        assert_gradients_match(lambda: ((a - b) ** 2).sum(), a, b)
+
+    def test_mul_broadcast(self, rng):
+        a, b = leaf(rng, 4, 3), leaf(rng, 1, 3)
+        assert_gradients_match(lambda: (a * b).sum(), a, b)
+
+    def test_div(self, rng):
+        a = leaf(rng, 3, 3)
+        b = Tensor(rng.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        assert_gradients_match(lambda: (a / b).sum(), a, b)
+
+    def test_neg(self, rng):
+        a = leaf(rng, 4)
+        assert_gradients_match(lambda: (-a * -a).sum(), a)
+
+    def test_pow_gradient(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        assert_gradients_match(lambda: (a ** 3).sum(), a)
+
+    def test_scalar_mix(self, rng):
+        a = leaf(rng, 5)
+        assert_gradients_match(lambda: (2.0 * a + 1.0).sum(), a)
+
+    def test_rsub_rdiv(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        assert_gradients_match(lambda: (1.0 / a + (3.0 - a)).sum(), a)
+
+    def test_chained_expression(self, rng):
+        a, b = leaf(rng, 3, 3), leaf(rng, 3, 3)
+        assert_gradients_match(
+            lambda: ((a * b + a - b) / (b * b + 2.0)).sum(), a, b)
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 4, 2)
+        assert_gradients_match(lambda: (a @ b).sum(), a, b)
+
+    def test_matrix_vector(self, rng):
+        a, v = leaf(rng, 3, 4), leaf(rng, 4)
+        assert_gradients_match(lambda: ((a @ v) ** 2).sum(), a, v)
+
+    def test_vector_matrix(self, rng):
+        v, a = leaf(rng, 3), leaf(rng, 3, 4)
+        assert_gradients_match(lambda: ((v @ a) ** 2).sum(), v, a)
+
+    def test_vector_vector(self, rng):
+        u, v = leaf(rng, 5), leaf(rng, 5)
+        assert_gradients_match(lambda: (u @ v) * (u @ v), u, v)
+
+    def test_forward_value(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(3, 2))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)

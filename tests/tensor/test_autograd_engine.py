@@ -1,0 +1,137 @@
+"""Behaviour of the autograd engine itself: graph topology, modes, errors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+from ..gradcheck import assert_gradients_match
+
+
+class TestGraphTopology:
+    def test_diamond_graph(self):
+        # x feeds two branches that rejoin: gradient must accumulate once per
+        # path (d/dx of (x*x + x*x) = 4x).
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        b = x * x
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_tensor_used_many_times(self):
+        x = Tensor([2.0], requires_grad=True)
+        out = x * x * x  # d/dx x^3 = 3 x^2
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_deep_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(100):
+            y = y + x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [101.0])
+
+    def test_deep_chain_numerical(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def fn():
+            y = x
+            for _ in range(5):
+                y = (y * 0.9).tanh() + x * 0.1
+            return y.sum()
+
+        assert_gradients_match(fn, x)
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestModesAndLeaves:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3.0).detach() * x
+        y.sum().backward()
+        # Only the non-detached path contributes: d/dx (6 * x) = 6.
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_constant_inputs_get_no_grad(self):
+        x = Tensor([1.0])
+        y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+
+class TestErrors:
+    def test_backward_on_non_scalar_needs_seed(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (x * 2.0).backward()
+
+    def test_backward_seed_shape_checked(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError, match="shape"):
+            y.backward(np.ones(4))
+
+    def test_explicit_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 4.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        x = Tensor([1.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            _ = x ** Tensor([2.0])
+
+
+class TestDtypeAndViews:
+    def test_data_is_float64(self):
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+    def test_from_tensor_copy_semantics(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data  # wrapping is cheap ...
+        c = a.copy()
+        c.data[0] = 99.0
+        assert a.data[0] == 1.0  # ... but copy() is a real copy
+
+    def test_item_and_len(self):
+        assert Tensor([[4.0]]).item() == 4.0
+        assert len(Tensor(np.zeros((5, 2)))) == 5

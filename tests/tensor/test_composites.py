@@ -1,0 +1,120 @@
+"""Composite op correctness: softmax family and similarity kernels."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    cosine_similarity_matrix,
+    dot_rows,
+    l2_normalize,
+    log_softmax,
+    logsumexp,
+    pairwise_sqdist,
+    softmax,
+)
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def leaf(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = leaf(rng, 4, 6)
+        out = softmax(x, axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_stability(self):
+        out = softmax(Tensor([[1000.0, 1000.0, 999.0]]))
+        assert np.isfinite(out.data).all()
+
+    def test_softmax_gradient(self, rng):
+        x = leaf(rng, 3, 4)
+        w = rng.normal(size=(3, 4))
+        assert_gradients_match(
+            lambda: (softmax(x, axis=1) * Tensor(w)).sum(), x)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = leaf(rng, 3, 5)
+        np.testing.assert_allclose(log_softmax(x).data,
+                                   np.log(softmax(x).data), atol=1e-10)
+
+    def test_log_softmax_gradient(self, rng):
+        x = leaf(rng, 2, 5)
+        assert_gradients_match(lambda: log_softmax(x)[:, 0].sum(), x)
+
+    def test_logsumexp_value(self, rng):
+        x = rng.normal(size=(3, 4))
+        expected = np.log(np.exp(x).sum(axis=1))
+        np.testing.assert_allclose(logsumexp(Tensor(x), axis=1).data, expected)
+
+    def test_logsumexp_stability(self):
+        out = logsumexp(Tensor([[1000.0, 999.0]]), axis=1)
+        np.testing.assert_allclose(out.data, [1000.0 + np.log1p(np.exp(-1.0))])
+
+    def test_logsumexp_gradient(self, rng):
+        x = leaf(rng, 3, 4)
+        assert_gradients_match(lambda: logsumexp(x, axis=1).sum(), x)
+
+    def test_logsumexp_keepdims(self, rng):
+        x = leaf(rng, 3, 4)
+        assert logsumexp(x, axis=1, keepdims=True).shape == (3, 1)
+        assert logsumexp(x, axis=1).shape == (3,)
+
+
+class TestSimilarity:
+    def test_l2_normalize_unit_rows(self, rng):
+        x = leaf(rng, 4, 3)
+        norms = np.linalg.norm(l2_normalize(x).data, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-8)
+
+    def test_l2_normalize_zero_row_safe(self):
+        out = l2_normalize(Tensor(np.zeros((1, 3))))
+        assert np.isfinite(out.data).all()
+
+    def test_l2_normalize_gradient(self, rng):
+        x = leaf(rng, 3, 4)
+        w = rng.normal(size=(3, 4))
+        assert_gradients_match(
+            lambda: (l2_normalize(x) * Tensor(w)).sum(), x)
+
+    def test_cosine_matrix_diagonal(self, rng):
+        x = Tensor(rng.normal(size=(5, 3)))
+        sims = cosine_similarity_matrix(x, x)
+        np.testing.assert_allclose(np.diag(sims.data), 1.0, atol=1e-8)
+        assert (np.abs(sims.data) <= 1.0 + 1e-8).all()
+
+    def test_cosine_matrix_gradient(self, rng):
+        a, b = leaf(rng, 3, 4), leaf(rng, 2, 4)
+        assert_gradients_match(
+            lambda: cosine_similarity_matrix(a, b).sum(), a, b)
+
+    def test_dot_rows(self, rng):
+        a, b = leaf(rng, 4, 3), leaf(rng, 4, 3)
+        np.testing.assert_allclose(dot_rows(a, b).data,
+                                   (a.data * b.data).sum(axis=1))
+        assert_gradients_match(lambda: (dot_rows(a, b) ** 2).sum(), a, b)
+
+    def test_pairwise_sqdist_value(self, rng):
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(5, 3))
+        out = pairwise_sqdist(Tensor(a), Tensor(b))
+        expected = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_pairwise_sqdist_gradient(self, rng):
+        a, b = leaf(rng, 3, 2), leaf(rng, 4, 2)
+        assert_gradients_match(lambda: pairwise_sqdist(a, b).sum(), a, b)
+
+    def test_pairwise_sqdist_nonnegative(self, rng):
+        a = Tensor(rng.normal(size=(6, 3)))
+        out = pairwise_sqdist(a, a)
+        assert (out.data >= 0).all()

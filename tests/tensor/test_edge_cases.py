@@ -1,0 +1,124 @@
+"""Tensor edge cases: axes, scalars, nesting, error paths."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import (
+    Tensor,
+    concat,
+    log_softmax,
+    logsumexp,
+    no_grad,
+    softmax,
+    spmm,
+)
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(19)
+
+
+class TestAxes:
+    def test_softmax_axis0(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)))
+        out = softmax(x, axis=0)
+        np.testing.assert_allclose(out.data.sum(axis=0), 1.0, atol=1e-10)
+
+    def test_log_softmax_axis0_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        assert_gradients_match(lambda: log_softmax(x, axis=0)[0].sum(), x)
+
+    def test_logsumexp_negative_axis(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)))
+        np.testing.assert_allclose(logsumexp(x, axis=-1).data,
+                                   logsumexp(x, axis=1).data)
+
+    def test_transpose_3d_axes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = x.transpose((2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        assert_gradients_match(lambda: (x.transpose((2, 0, 1)) ** 2).sum(),
+                               x)
+
+    def test_sum_multiple_axes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = x.sum(axis=(0, 2))
+        assert out.shape == (3,)
+        assert_gradients_match(lambda: (x.sum(axis=(0, 2)) ** 2).sum(), x)
+
+
+class TestScalarsAndShapes:
+    def test_zero_dim_tensor(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert (t * 2.0).item() == 7.0
+
+    def test_scalar_backward(self):
+        t = Tensor(2.0, requires_grad=True)
+        (t * t).backward()
+        np.testing.assert_allclose(t.grad, 4.0)
+
+    def test_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        assert x.flatten().shape == (6,)
+        assert_gradients_match(lambda: (x.flatten() ** 2).sum(), x)
+
+    def test_concat_single_tensor(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        np.testing.assert_array_equal(concat([x]).data, x.data)
+
+    def test_size_property(self):
+        assert Tensor(np.zeros((2, 5))).size == 10
+
+
+class TestNoGradNesting:
+    def test_nested_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                y = x * 2.0
+            z = x * 3.0
+        assert not y.requires_grad and not z.requires_grad
+        w = x * 4.0
+        assert w.requires_grad
+
+    def test_graph_built_inside_is_dead(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = (x * 2.0) + (x * 3.0)
+        assert y._parents == ()
+
+
+class TestSparse:
+    def test_spmm_chain_gradient(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        m1 = sp.random(4, 4, density=0.5, random_state=0, format="csr")
+        m2 = sp.random(4, 4, density=0.5, random_state=1, format="csr")
+        assert_gradients_match(
+            lambda: (spmm(m2, spmm(m1, x)) ** 2).sum(), x)
+
+    def test_spmm_preserves_columns(self, rng):
+        x = Tensor(rng.normal(size=(5, 7)))
+        m = sp.identity(5, format="csr")
+        np.testing.assert_allclose(spmm(m, x).data, x.data)
+
+
+class TestMixedGraph:
+    def test_partial_requires_grad_paths(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)))  # constant
+        out = (a * b + b * b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        assert b.grad is None
+
+    def test_backward_twice_through_fresh_graphs(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (a * 2.0).sum().backward()
+        first = a.grad.copy()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)

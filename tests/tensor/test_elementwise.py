@@ -1,0 +1,122 @@
+"""Gradient correctness of elementwise nonlinearities and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def leaf(rng, *shape, low=None, high=None):
+    if low is not None:
+        data = rng.uniform(low, high, size=shape)
+    else:
+        data = rng.normal(size=shape)
+    return Tensor(data, requires_grad=True)
+
+
+class TestElementwise:
+    def test_exp(self, rng):
+        a = leaf(rng, 3, 2)
+        assert_gradients_match(lambda: a.exp().sum(), a)
+
+    def test_log(self, rng):
+        a = leaf(rng, 4, low=0.5, high=3.0)
+        assert_gradients_match(lambda: a.log().sum(), a)
+
+    def test_sqrt(self, rng):
+        a = leaf(rng, 4, low=0.5, high=3.0)
+        assert_gradients_match(lambda: a.sqrt().sum(), a)
+
+    def test_tanh(self, rng):
+        a = leaf(rng, 5)
+        assert_gradients_match(lambda: a.tanh().sum(), a)
+
+    def test_sigmoid(self, rng):
+        a = leaf(rng, 5)
+        assert_gradients_match(lambda: a.sigmoid().sum(), a)
+
+    def test_relu(self, rng):
+        # Keep values away from the kink for a clean finite-difference check.
+        a = Tensor(rng.choice([-1.5, -0.7, 0.8, 1.9], size=(4, 3)),
+                   requires_grad=True)
+        assert_gradients_match(lambda: a.relu().sum(), a)
+
+    def test_leaky_relu(self, rng):
+        a = Tensor(rng.choice([-2.0, -1.0, 1.0, 2.0], size=(6,)),
+                   requires_grad=True)
+        assert_gradients_match(lambda: a.leaky_relu(0.1).sum(), a)
+
+    def test_softplus(self, rng):
+        a = leaf(rng, 5)
+        assert_gradients_match(lambda: a.softplus().sum(), a)
+
+    def test_softplus_stability(self):
+        out = Tensor([800.0, -800.0]).softplus()
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data[0], 800.0)
+
+    def test_abs(self, rng):
+        a = Tensor(rng.choice([-2.0, -1.0, 1.0, 2.0], size=(5,)),
+                   requires_grad=True)
+        assert_gradients_match(lambda: a.abs().sum(), a)
+
+    def test_clip(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        weights = Tensor(np.array([1.0, -2.0, 3.0, 0.5]))
+        assert_gradients_match(lambda: (a.clip(-1.0, 1.0) * weights).sum(), a)
+        np.testing.assert_allclose(a.clip(-1.0, 1.0).data,
+                                   [-1.0, -0.5, 0.5, 1.0])
+
+    def test_sigmoid_extremes_finite(self):
+        out = Tensor([500.0, -500.0]).sigmoid()
+        assert np.isfinite(out.data).all()
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = leaf(rng, 3, 4)
+        assert_gradients_match(lambda: a.sum(), a)
+
+    def test_sum_axis(self, rng):
+        a = leaf(rng, 3, 4)
+        assert_gradients_match(lambda: (a.sum(axis=0) ** 2).sum(), a)
+        assert_gradients_match(lambda: (a.sum(axis=1) ** 2).sum(), a)
+
+    def test_sum_keepdims(self, rng):
+        a = leaf(rng, 3, 4)
+        assert_gradients_match(
+            lambda: (a - a.sum(axis=1, keepdims=True)).sum(), a)
+
+    def test_mean(self, rng):
+        a = leaf(rng, 3, 4)
+        assert_gradients_match(lambda: (a.mean(axis=0) ** 2).sum(), a)
+        np.testing.assert_allclose(a.mean().item(), a.data.mean())
+
+    def test_max(self, rng):
+        a = Tensor(rng.permutation(12).reshape(3, 4).astype(float),
+                   requires_grad=True)
+        assert_gradients_match(lambda: a.max(axis=1).sum(), a)
+        assert_gradients_match(lambda: a.max() * 2.0, a)
+
+    def test_max_tie_splitting(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min(self, rng):
+        a = Tensor(rng.permutation(8).reshape(2, 4).astype(float),
+                   requires_grad=True)
+        np.testing.assert_allclose(a.min(axis=1).data, a.data.min(axis=1))
+        assert_gradients_match(lambda: a.min(axis=1).sum(), a)
+
+    def test_var(self, rng):
+        a = leaf(rng, 5, 3)
+        np.testing.assert_allclose(a.var(axis=0).data, a.data.var(axis=0))
+        assert_gradients_match(lambda: a.var(axis=0).sum(), a)

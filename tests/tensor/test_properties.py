@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for tensor algebra invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, l2_normalize, logsumexp, softmax
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+
+def matrices(rows=st.integers(1, 5), cols=st.integers(1, 5)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: arrays(np.float64, shape, elements=finite))
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_add_commutative(a):
+    x = Tensor(a)
+    np.testing.assert_allclose((x + x * 2.0).data, (x * 2.0 + x).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_double_negation(a):
+    x = Tensor(a)
+    np.testing.assert_allclose((-(-x)).data, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_sum_axis_decomposition(a):
+    x = Tensor(a)
+    np.testing.assert_allclose(x.sum().item(),
+                               x.sum(axis=0).sum().item(), atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_softmax_is_distribution(a):
+    out = softmax(Tensor(a), axis=1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_softmax_shift_invariance(a):
+    base = softmax(Tensor(a), axis=1).data
+    shifted = softmax(Tensor(a + 3.7), axis=1).data
+    np.testing.assert_allclose(base, shifted, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_logsumexp_bounds(a):
+    # max <= logsumexp <= max + log(n)
+    out = logsumexp(Tensor(a), axis=1).data
+    row_max = a.max(axis=1)
+    assert (out >= row_max - 1e-9).all()
+    assert (out <= row_max + np.log(a.shape[1]) + 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_l2_normalize_idempotent(a):
+    assume((np.linalg.norm(a, axis=1) > 1e-3).all())
+    once = l2_normalize(Tensor(a)).data
+    twice = l2_normalize(Tensor(once)).data
+    np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(), finite)
+def test_linearity_of_backward(a, scale):
+    # grad of (c * sum(x)) is c everywhere.
+    x = Tensor(a, requires_grad=True)
+    (x.sum() * scale).backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, scale), atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_matmul_transpose_identity(a):
+    x = Tensor(a)
+    gram = (x @ x.T).data
+    np.testing.assert_allclose(gram, gram.T, atol=1e-8)

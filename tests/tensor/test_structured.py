@@ -1,0 +1,148 @@
+"""Gradients and values for structured ops: spmm, segments, gather, shapes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import (
+    Tensor,
+    concat,
+    gather_rows,
+    segment_max,
+    segment_mean,
+    segment_sum,
+    spmm,
+    stack,
+    where,
+)
+
+from ..gradcheck import assert_gradients_match
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+def leaf(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSpmm:
+    def test_forward(self, rng):
+        dense = rng.normal(size=(5, 3))
+        matrix = sp.random(4, 5, density=0.5, random_state=1, format="csr")
+        out = spmm(matrix, Tensor(dense))
+        np.testing.assert_allclose(out.data, matrix @ dense)
+
+    def test_gradient(self, rng):
+        x = leaf(rng, 5, 3)
+        matrix = sp.random(4, 5, density=0.6, random_state=2, format="csr")
+        assert_gradients_match(lambda: (spmm(matrix, x) ** 2).sum(), x)
+
+    def test_empty_matrix(self, rng):
+        x = leaf(rng, 3, 2)
+        matrix = sp.csr_matrix((3, 3))
+        out = spmm(matrix, x)
+        np.testing.assert_allclose(out.data, 0.0)
+
+
+class TestSegments:
+    def test_segment_sum_forward(self):
+        values = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+        ids = np.array([0, 0, 1, 1])
+        out = segment_sum(values, ids, 2)
+        np.testing.assert_allclose(out.data, [[2.0, 4.0], [10.0, 12.0]])
+
+    def test_segment_sum_gradient(self, rng):
+        x = leaf(rng, 6, 3)
+        ids = np.array([0, 1, 0, 2, 2, 1])
+        assert_gradients_match(
+            lambda: (segment_sum(x, ids, 3) ** 2).sum(), x)
+
+    def test_segment_mean_forward(self):
+        values = Tensor(np.array([[2.0], [4.0], [9.0]]))
+        out = segment_mean(values, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [9.0]])
+
+    def test_segment_mean_empty_segment(self):
+        values = Tensor(np.array([[2.0], [4.0]]))
+        out = segment_mean(values, np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [0.0], [0.0]])
+
+    def test_segment_mean_gradient(self, rng):
+        x = leaf(rng, 5, 2)
+        ids = np.array([0, 1, 1, 0, 1])
+        assert_gradients_match(
+            lambda: (segment_mean(x, ids, 2) ** 2).sum(), x)
+
+    def test_segment_max_forward(self):
+        values = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 7.0]]))
+        out = segment_max(values, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0, 5.0], [0.0, 7.0]])
+
+    def test_segment_max_gradient(self, rng):
+        x = Tensor(rng.permutation(10).reshape(5, 2).astype(float),
+                   requires_grad=True)
+        ids = np.array([0, 0, 1, 1, 1])
+        assert_gradients_match(lambda: segment_max(x, ids, 2).sum(), x)
+
+    def test_segment_sum_unordered_ids(self, rng):
+        # Segment ids need not be sorted or contiguous in appearance order.
+        x = leaf(rng, 4, 2)
+        ids = np.array([2, 0, 2, 1])
+        out = segment_sum(x, ids, 3)
+        np.testing.assert_allclose(out.data[0], x.data[1])
+        np.testing.assert_allclose(out.data[2], x.data[0] + x.data[2])
+
+
+class TestGatherAndShape:
+    def test_gather_rows(self, rng):
+        x = leaf(rng, 4, 3)
+        idx = np.array([0, 2, 2, 3])
+        out = gather_rows(x, idx)
+        np.testing.assert_allclose(out.data, x.data[idx])
+        assert_gradients_match(lambda: (gather_rows(x, idx) ** 2).sum(), x)
+
+    def test_getitem_slice(self, rng):
+        x = leaf(rng, 5, 3)
+        assert_gradients_match(lambda: (x[1:4] ** 2).sum(), x)
+
+    def test_getitem_int_array(self, rng):
+        x = leaf(rng, 5, 3)
+        idx = np.array([0, 0, 4])
+        assert_gradients_match(lambda: (x[idx] ** 2).sum(), x)
+
+    def test_reshape(self, rng):
+        x = leaf(rng, 6)
+        assert_gradients_match(lambda: (x.reshape(2, 3) ** 2).sum(), x)
+
+    def test_transpose(self, rng):
+        x = leaf(rng, 2, 3)
+        np.testing.assert_allclose(x.T.data, x.data.T)
+        assert_gradients_match(lambda: (x.T @ x).sum(), x)
+
+    def test_concat(self, rng):
+        a, b = leaf(rng, 2, 3), leaf(rng, 4, 3)
+        out = concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        assert_gradients_match(
+            lambda: (concat([a, b], axis=0) ** 2).sum(), a, b)
+
+    def test_concat_axis1(self, rng):
+        a, b = leaf(rng, 2, 3), leaf(rng, 2, 1)
+        assert_gradients_match(
+            lambda: (concat([a, b], axis=1) ** 2).sum(), a, b)
+
+    def test_stack(self, rng):
+        a, b = leaf(rng, 3), leaf(rng, 3)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        assert_gradients_match(lambda: (stack([a, b]) ** 2).sum(), a, b)
+
+    def test_where(self, rng):
+        a, b = leaf(rng, 4), leaf(rng, 4)
+        mask = np.array([True, False, True, False])
+        out = where(mask, a, b)
+        np.testing.assert_allclose(out.data, np.where(mask, a.data, b.data))
+        assert_gradients_match(lambda: (where(mask, a, b) ** 2).sum(), a, b)

@@ -1,0 +1,62 @@
+"""API-surface quality gates: __all__ exports exist and carry docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.tensor",
+    "repro.nn",
+    "repro.graph",
+    "repro.gnn",
+    "repro.augment",
+    "repro.losses",
+    "repro.core",
+    "repro.methods",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.eval",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), \
+                f"{module_name}.__all__ lists missing name {name!r}"
+
+    def test_public_callables_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, \
+            f"{module_name}: missing docstrings on {undocumented}"
+
+    def test_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert (module.__doc__ or "").strip(), \
+            f"{module_name} lacks a module docstring"
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+        assert (repro.__doc__ or "").strip()
+
+    def test_subpackages_reachable(self):
+        import repro
+
+        for name in repro.__all__:
+            if name != "__version__":
+                assert hasattr(repro, name)

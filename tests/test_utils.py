@@ -1,0 +1,73 @@
+"""Utility helpers: tables, timer, seeding."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    format_cell,
+    format_table,
+    print_table,
+    seeded_rng,
+    set_global_seed,
+)
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(85.125, 0.333) == "85.12±0.33"
+        assert format_cell(85.125) == "85.12"
+        assert format_cell(1.0, 2.0, digits=1) == "1.0±2.0"
+
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Long header"],
+                            [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All lines share the same width structure.
+        assert lines[0].index("Long header") == lines[2].index("1") \
+            or "Long header" in lines[0]
+        assert "----" in lines[1]
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["H"], [["v"]])
+        out = capsys.readouterr().out
+        assert "=== Title ===" in out
+        assert "v" in out
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+
+class TestSeeding:
+    def test_seeded_rng_reproducible(self):
+        a = seeded_rng(42).normal(size=5)
+        b = seeded_rng(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeded_rng_none_is_fresh(self):
+        a = seeded_rng(None).normal(size=5)
+        b = seeded_rng(None).normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_set_global_seed(self):
+        set_global_seed(7)
+        a = np.random.rand(3)
+        set_global_seed(7)
+        b = np.random.rand(3)
+        np.testing.assert_array_equal(a, b)
