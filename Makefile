@@ -1,6 +1,6 @@
 # Convenience targets for the GradGCL reproduction.
 
-.PHONY: install test bench bench-small examples clean
+.PHONY: install test bench bench-small bench-tensor check-perf examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,12 @@ bench:
 
 bench-small:
 	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
+
+bench-tensor:
+	PYTHONPATH=src python -m benchmarks.bench_tensor_ops
+
+check-perf:
+	PYTHONPATH=src python scripts/check_perf.py
 
 examples:
 	python examples/quickstart.py

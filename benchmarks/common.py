@@ -145,3 +145,20 @@ def node_accuracy(cls, dataset, weight: float, cfg: BenchConfig,
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def time_callable(fn, repeats: int = 30, warmup: int = 3):
+    """Median (p50) wall-clock seconds of ``fn()`` over ``repeats`` laps.
+
+    Used by the tensor-op microbenchmarks; the median is robust to the
+    scheduler noise that individual laps on a shared box inherit.
+    """
+    from repro.utils import Timer
+
+    for _ in range(warmup):
+        fn()
+    timer = Timer().start()
+    for _ in range(repeats):
+        fn()
+        timer.lap()
+    return timer.statistics().p50

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Warn-only perf gate: fresh microbench p50s vs the committed baseline.
+
+Re-runs the tensor-op microbenchmarks from ``benchmarks/bench_tensor_ops.py``
+and compares each fused-path p50 against the numbers committed in
+``BENCH_tensor.json``.  A >20% slowdown prints a warning; the exit code is
+always 0 — wall-clock on shared boxes is too noisy for a hard gate, but the
+warning makes regressions visible in CI logs.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/check_perf.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_tensor.json"
+REGRESSION_THRESHOLD = 0.20
+
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    if not BASELINE.exists():
+        print(f"no baseline at {BASELINE}; run "
+              "`PYTHONPATH=src python -m benchmarks.bench_tensor_ops` first")
+        return 0
+    baseline = json.loads(BASELINE.read_text())["microbench"]
+
+    from benchmarks.bench_tensor_ops import run_microbenches
+
+    fresh = run_microbenches()
+    warnings = 0
+    for name, entry in fresh.items():
+        if name not in baseline:
+            print(f"{name:24s} (new bench, no baseline)")
+            continue
+        base_p50 = baseline[name]["fused_p50"]
+        ratio = entry["fused_p50"] / max(base_p50, 1e-12)
+        status = "ok"
+        if ratio > 1.0 + REGRESSION_THRESHOLD:
+            status = f"WARNING: {100 * (ratio - 1):.0f}% slower than baseline"
+            warnings += 1
+        print(f"{name:24s} baseline={base_p50 * 1e3:8.3f}ms "
+              f"fresh={entry['fused_p50'] * 1e3:8.3f}ms "
+              f"ratio={ratio:.2f}  {status}")
+    if warnings:
+        print(f"\n{warnings} bench(es) regressed >"
+              f"{REGRESSION_THRESHOLD:.0%} — investigate before merging "
+              "(warn-only; not failing the build)")
+    else:
+        print("\nall tensor-op benches within the regression threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,8 +57,14 @@ class RandomChoice:
         if total <= 0:
             raise ValueError("probabilities must not all be zero")
         self.probabilities = probabilities / total
+        # Cached inverse-CDF table.  ``rng.choice(k, p=p)`` re-validates and
+        # re-accumulates ``p`` on every call, which dominates per-graph
+        # augmentation dispatch; searching the cached CDF against a single
+        # ``rng.random()`` draw consumes the generator identically.
+        self._cdf = self.probabilities.cumsum()
+        self._cdf /= self._cdf[-1]
 
     def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
-        index = int(rng.choice(len(self.augmentations), p=self.probabilities))
+        index = int(np.searchsorted(self._cdf, rng.random(), side="right"))
         self.last_choice = index
         return self.augmentations[index](graph, rng)

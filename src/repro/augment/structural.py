@@ -59,22 +59,23 @@ class EdgePerturb:
         keep_mask[rng.choice(m, size=num_changed, replace=False)] = False
         kept = graph.edges[keep_mask]
         if self.add_edges and graph.num_nodes > 1:
-            existing = graph.edge_set()
-            additions: list[tuple[int, int]] = []
-            attempts = 0
-            while len(additions) < num_changed and attempts < 20 * num_changed:
-                attempts += 1
-                u, v = rng.integers(0, graph.num_nodes, size=2)
-                if u == v:
-                    continue
-                edge = (int(min(u, v)), int(max(u, v)))
-                if edge in existing:
-                    continue
-                existing.add(edge)
-                additions.append(edge)
-            if additions:
-                kept = np.concatenate(
-                    [kept, np.array(additions, dtype=np.int64)], axis=0)
+            # Batched rejection sampling: draw the whole attempt budget at
+            # once, then keep the first ``num_changed`` proposals that are
+            # not self loops, not duplicates, and not existing edges — the
+            # same acceptance rules the per-draw loop applied.
+            n = graph.num_nodes
+            proposals = rng.integers(0, n, size=(20 * num_changed, 2))
+            lo = proposals.min(axis=1)
+            hi = proposals.max(axis=1)
+            valid = lo != hi
+            keys = (lo * n + hi)[valid]
+            _, first = np.unique(keys, return_index=True)
+            keys = keys[np.sort(first)]  # unique, in proposal order
+            existing_keys = graph.edges.min(axis=1) * n + graph.edges.max(axis=1)
+            keys = keys[~np.isin(keys, existing_keys)][:num_changed]
+            if len(keys):
+                additions = np.stack([keys // n, keys % n], axis=1)
+                kept = np.concatenate([kept, additions], axis=0)
         out.edges = Graph.canonical_edges(kept)
         return out
 
@@ -92,27 +93,40 @@ class SubgraphSample:
     def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
         n = graph.num_nodes
         target = max(1, int(round(n * self.keep_ratio)))
-        neighbors: dict[int, list[int]] = {i: [] for i in range(n)}
-        for u, v in graph.edges:
-            neighbors[int(u)].append(int(v))
-            neighbors[int(v)].append(int(u))
-        visited = {int(rng.integers(0, n))}
-        frontier = list(visited)
+        # CSR-style neighbour lists.  Sorting by (source, edge index) keeps
+        # each node's neighbours in edge-list order — the same order the old
+        # per-edge append loop produced — so the walk consumes RNG draws
+        # identically and samples the same subgraphs.
+        m = graph.num_edges
+        src = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
+        dst = np.concatenate([graph.edges[:, 1], graph.edges[:, 0]])
+        edge_idx = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.lexsort((edge_idx, src))
+        flat_neighbors = dst[order]
+        starts = np.searchsorted(src[order], np.arange(n + 1))
+        visited = np.zeros(n, dtype=bool)
+        start = int(rng.integers(0, n))
+        visited[start] = True
+        num_visited = 1
+        frontier = [start]
         # Random-walk-with-restart style expansion until the target size.
-        while len(visited) < target:
+        while num_visited < target:
             if not frontier:
                 # Disconnected remainder: jump to a fresh random node.
-                remaining = [i for i in range(n) if i not in visited]
+                remaining = np.flatnonzero(~visited)
                 fresh = int(rng.choice(remaining))
-                visited.add(fresh)
+                visited[fresh] = True
+                num_visited += 1
                 frontier.append(fresh)
                 continue
             current = frontier[int(rng.integers(0, len(frontier)))]
-            options = [v for v in neighbors[current] if v not in visited]
-            if not options:
+            adjacent = flat_neighbors[starts[current]:starts[current + 1]]
+            options = adjacent[~visited[adjacent]]
+            if not len(options):
                 frontier.remove(current)
                 continue
             nxt = int(options[int(rng.integers(0, len(options)))])
-            visited.add(nxt)
+            visited[nxt] = True
+            num_visited += 1
             frontier.append(nxt)
-        return graph.subgraph(np.array(sorted(visited)))
+        return graph.subgraph(np.flatnonzero(visited))

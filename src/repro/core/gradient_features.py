@@ -40,9 +40,12 @@ import numpy as np
 from ..tensor import (
     Tensor,
     dot_rows,
+    fused_gradient_features,
+    fused_l2_normalize,
     l2_normalize,
     pairwise_sqdist,
     softmax,
+    use_fused,
 )
 
 __all__ = [
@@ -72,8 +75,12 @@ def infonce_gradient_features(u: Tensor, v: Tensor, tau: float = 0.5,
         raise ValueError(f"view shapes differ: {u.shape} vs {v.shape}")
     if tau <= 0:
         raise ValueError(f"temperature must be positive, got {tau}")
+    # The euclid form chains the softmax through pairwise distances and has
+    # no fused kernel; it always takes the reference composition.
+    fused = use_fused() and sim in ("cos", "dot")
     if sim == "cos":
-        u_in, v_in = l2_normalize(u), l2_normalize(v)
+        normalize = fused_l2_normalize if fused else l2_normalize
+        u_in, v_in = normalize(u), normalize(v)
         scale = 1.0 / tau
     elif sim == "dot":
         u_in, v_in = u, v
@@ -84,14 +91,22 @@ def infonce_gradient_features(u: Tensor, v: Tensor, tau: float = 0.5,
     else:
         raise ValueError(f"unknown similarity {sim!r}")
 
-    grad_u = _anchor_gradient(u_in, v_in, tau, sim) * scale
-    grad_v = _anchor_gradient(v_in, u_in, tau, sim) * scale
+    if fused:
+        grad_u = fused_gradient_features(u_in, v_in, tau) * scale
+        grad_v = fused_gradient_features(v_in, u_in, tau) * scale
+    else:
+        grad_u = _anchor_gradient(u_in, v_in, tau, sim) * scale
+        grad_v = _anchor_gradient(v_in, u_in, tau, sim) * scale
     return grad_u, grad_v
 
 
 def _anchor_gradient(anchor: Tensor, candidates: Tensor, tau: float,
                      sim: str) -> Tensor:
-    """``(p @ candidates) - candidates`` with ``p`` the anchor softmax."""
+    """``(p @ candidates) - candidates`` with ``p`` the anchor softmax.
+
+    Reference (unfused) composition; :func:`repro.tensor.fused_gradient_features`
+    is the single-node equivalent for dot-product logits.
+    """
     if sim == "euclid":
         logits = pairwise_sqdist(anchor, candidates) * -0.5
     else:

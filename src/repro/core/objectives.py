@@ -95,6 +95,11 @@ class GradGCLObjective(ContrastiveObjective):
         Ablation switch: treat the gradient features as constants instead of
         differentiable functions of the representations.  The paper's method
         keeps them differentiable (default False).
+
+    Both terms ride the fused tensor kernels when globally enabled: ``l_f``
+    dispatches through :func:`repro.losses.info_nce` and ``l_g`` through the
+    fused Eq. 6 features plus fused InfoNCE (see :mod:`repro.tensor.fused`);
+    ``fused_kernels(False)`` selects the primitive reference compositions.
     """
 
     base: ContrastiveObjective = field(default_factory=InfoNCEObjective)

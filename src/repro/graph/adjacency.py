@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..tensor.dtype import get_default_dtype
 from .graph import Graph
 
 __all__ = ["adjacency_matrix", "gcn_normalize", "row_normalize",
@@ -14,13 +15,14 @@ __all__ = ["adjacency_matrix", "gcn_normalize", "row_normalize",
 def adjacency_matrix(graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
     """Symmetric sparse adjacency (both edge directions materialized)."""
     n = graph.num_nodes
+    dtype = get_default_dtype()
     if graph.num_edges:
         rows = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
         cols = np.concatenate([graph.edges[:, 1], graph.edges[:, 0]])
-        data = np.ones(len(rows), dtype=np.float64)
+        data = np.ones(len(rows), dtype=dtype)
         adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
     else:
-        adj = sp.csr_matrix((n, n), dtype=np.float64)
+        adj = sp.csr_matrix((n, n), dtype=dtype)
     if self_loops:
         adj = add_self_loops(adj)
     return adj

@@ -75,12 +75,29 @@ class Graph:
 
     def edge_set(self) -> set[tuple[int, int]]:
         """Canonical (u < v) edge tuples as a set."""
-        return {(int(min(u, v)), int(max(u, v))) for u, v in self.edges}
+        if not self.edges.size:
+            return set()
+        lo = self.edges.min(axis=1)
+        hi = self.edges.max(axis=1)
+        return set(zip(lo.tolist(), hi.tolist()))
 
     def copy(self) -> "Graph":
-        return Graph(self.num_nodes, self.edges.copy(), self.x.copy(),
-                     self.y,
-                     None if self.node_y is None else self.node_y.copy())
+        return Graph._from_parts(
+            self.num_nodes, self.edges.copy(), self.x.copy(), self.y,
+            None if self.node_y is None else self.node_y.copy())
+
+    @classmethod
+    def _from_parts(cls, num_nodes: int, edges: np.ndarray, x: np.ndarray,
+                    y: int | None, node_y: np.ndarray | None) -> "Graph":
+        """Internal constructor for data already in validated, canonical
+        form (skips ``__post_init__``'s conversions and checks)."""
+        graph = object.__new__(cls)
+        graph.num_nodes = num_nodes
+        graph.edges = edges
+        graph.x = x
+        graph.y = y
+        graph.node_y = node_y
+        return graph
 
     # ------------------------------------------------------------------
     # Construction / conversion
@@ -94,8 +111,14 @@ class Graph:
         edges = edges[edges[:, 0] != edges[:, 1]]
         lo = edges.min(axis=1)
         hi = edges.max(axis=1)
-        canonical = np.stack([lo, hi], axis=1)
-        return np.unique(canonical, axis=0)
+        if not len(lo):
+            return np.empty((0, 2), dtype=np.int64)
+        # Row-wise unique via a scalar key: lexicographic order on (lo, hi)
+        # equals numeric order on lo * base + hi for any base > max(hi), so
+        # this matches np.unique(..., axis=0) without its slow void-view sort.
+        base = int(hi.max()) + 1
+        keys = np.unique(lo * base + hi)
+        return np.stack([keys // base, keys % base], axis=1)
 
     @classmethod
     def from_networkx(cls, g: nx.Graph, x: np.ndarray | None = None,
@@ -123,11 +146,16 @@ class Graph:
 
     def subgraph(self, nodes: np.ndarray) -> "Graph":
         """Induced subgraph on ``nodes`` (relabelled to 0..k-1)."""
-        nodes = np.asarray(sorted(set(int(n) for n in nodes)), dtype=np.int64)
-        index_of = {int(old): new for new, old in enumerate(nodes)}
-        keep = [(index_of[int(u)], index_of[int(v)]) for u, v in self.edges
-                if int(u) in index_of and int(v) in index_of]
-        edges = (np.array(keep, dtype=np.int64) if keep
-                 else np.empty((0, 2), dtype=np.int64))
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        new_index = np.full(self.num_nodes, -1, dtype=np.int64)
+        new_index[nodes] = np.arange(len(nodes))
+        if self.edges.size:
+            relabelled = new_index[self.edges]
+            edges = relabelled[(relabelled >= 0).all(axis=1)]
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
         node_y = None if self.node_y is None else self.node_y[nodes]
-        return Graph(len(nodes), edges, self.x[nodes], self.y, node_y)
+        # Relabelling preserves canonical form (nodes ascending keeps u < v),
+        # so the validated fast constructor applies.
+        return Graph._from_parts(len(nodes), edges, self.x[nodes], self.y,
+                                 node_y)

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from ..tensor import (
     Tensor,
+    fused_info_nce,
     l2_normalize,
     log_softmax,
     pairwise_sqdist,
+    use_fused,
 )
 
 __all__ = ["similarity_matrix", "info_nce", "nt_xent"]
@@ -37,7 +39,8 @@ def similarity_matrix(u: Tensor, v: Tensor, sim: str = "cos") -> Tensor:
 
 
 def info_nce(u: Tensor, v: Tensor, tau: float = 0.5,
-             sim: str = "cos", symmetric: bool = True) -> Tensor:
+             sim: str = "cos", symmetric: bool = True,
+             fused: bool | None = None) -> Tensor:
     """InfoNCE loss between paired views ``u`` and ``v`` (paper Eq. 4).
 
     Row ``n`` of ``u`` and row ``n`` of ``v`` are a positive pair; all other
@@ -49,6 +52,11 @@ def info_nce(u: Tensor, v: Tensor, tau: float = 0.5,
     symmetric:
         Average the loss over both anchoring directions (u -> v and v -> u),
         the convention of GraphCL/GRACE.
+    fused:
+        Dispatch to the single-node fused kernel
+        (:func:`repro.tensor.fused_info_nce`) or the unfused reference
+        composition below; ``None`` (default) follows the global
+        :func:`repro.tensor.use_fused` switch.
     """
     if u.shape != v.shape:
         raise ValueError(f"view shapes differ: {u.shape} vs {v.shape}")
@@ -56,6 +64,12 @@ def info_nce(u: Tensor, v: Tensor, tau: float = 0.5,
         raise ValueError("InfoNCE needs at least 2 samples for negatives")
     if tau <= 0:
         raise ValueError(f"temperature must be positive, got {tau}")
+    if sim not in _SIM_MODES:
+        raise ValueError(f"unknown similarity {sim!r}; choose from {_SIM_MODES}")
+    if fused is None:
+        fused = use_fused()
+    if fused:
+        return fused_info_nce(u, v, tau=tau, sim=sim, symmetric=symmetric)
 
     def one_direction(a: Tensor, b: Tensor) -> Tensor:
         logits = similarity_matrix(a, b, sim) / tau

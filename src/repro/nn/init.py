@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor.dtype import get_default_dtype
+
 __all__ = ["glorot_uniform", "kaiming_uniform", "zeros", "normal"]
 
 
@@ -22,7 +24,7 @@ def kaiming_uniform(fan_in: int, fan_out: int,
 
 
 def zeros(*shape: int) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def normal(shape: tuple[int, ...], std: float,

@@ -11,7 +11,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..tensor import Tensor, dropout_mask
+from ..tensor import Tensor, dropout_mask, fused_linear, use_fused
 from . import init as init_schemes
 from .module import Module, ModuleList, Parameter
 
@@ -20,7 +20,12 @@ __all__ = ["Linear", "BatchNorm1d", "Dropout", "Identity", "Sequential",
 
 
 class Linear(Module):
-    """Affine map ``y = x W + b`` with Glorot-uniform initialization."""
+    """Affine map ``y = x W + b`` with Glorot-uniform initialization.
+
+    2-D inputs dispatch to the single-node fused kernel
+    (:func:`repro.tensor.fused_linear`) unless the global fused switch is
+    off; other ranks use the primitive composition.
+    """
 
     def __init__(self, in_features: int, out_features: int,
                  bias: bool = True, *, rng: np.random.Generator):
@@ -32,6 +37,8 @@ class Linear(Module):
         self.bias = Parameter(init_schemes.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if use_fused() and x.ndim == 2:
+            return fused_linear(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -44,13 +51,18 @@ class BatchNorm1d(Module):
     def __init__(self, num_features: int, momentum: float = 0.1,
                  eps: float = 1e-5):
         super().__init__()
+        from ..tensor import get_default_dtype
+
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
         self.gamma = Parameter(np.ones(num_features))
         self.beta = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        # Running stats follow the dtype policy so eval-mode forwards do not
+        # promote a float32 graph back to float64.
+        dtype = get_default_dtype()
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

@@ -28,7 +28,12 @@ def save_module(module: Module, path: str | Path) -> Path:
 
 
 def load_module(module: Module, path: str | Path) -> Module:
-    """Load parameters from ``path`` into ``module`` (strict matching)."""
+    """Load parameters from ``path`` into ``module`` (strict matching).
+
+    Values are cast into each parameter's existing buffer, so the module's
+    dtype wins: a float64 checkpoint loads cleanly into a model built under
+    ``autocast("float32")`` and vice versa.
+    """
     with np.load(Path(path)) as archive:
         state = {name: archive[name] for name in archive.files
                  if name != _VERSION_KEY}

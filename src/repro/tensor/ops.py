@@ -11,6 +11,12 @@ what graph neural networks need beyond basic arithmetic:
 * embedding-style ``gather_rows``;
 * ``l2_normalize``, ``cosine_similarity_matrix``, ``pairwise_sqdist`` used by
   the contrastive losses.
+
+``segment_sum`` dispatches to a ``np.add.reduceat`` kernel when the segment
+ids are sorted (always true for block-diagonal batches), which is roughly an
+order of magnitude faster than the ``np.add.at`` scatter it falls back to.
+All ops preserve the dtype of their inputs so float32 graphs (see
+:mod:`repro.tensor.dtype`) stay float32 end to end.
 """
 
 from __future__ import annotations
@@ -28,6 +34,11 @@ __all__ = [
     "cosine_similarity_matrix", "pairwise_sqdist", "dot_rows", "where",
     "dropout_mask",
 ]
+
+
+def _const(data: np.ndarray) -> Tensor:
+    """Wrap an ndarray as a constant tensor preserving its dtype."""
+    return Tensor(data, dtype=np.asarray(data).dtype)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -63,17 +74,29 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     """Multiply a constant scipy sparse matrix by a dense tensor.
 
     ``matrix`` is treated as a constant (adjacency structure), so only the
-    dense operand receives a gradient: ``d(M @ X)/dX = M^T @ grad``.
+    dense operand receives a gradient: ``d(M @ X)/dX = M^T @ grad``.  The
+    transpose is taken lazily inside the backward closure (as a CSC view, no
+    copy), so inference-mode forwards pay nothing for it.
     """
     dense = as_tensor(dense)
     csr = matrix.tocsr()
+    if csr.dtype != dense.data.dtype:
+        csr = csr.astype(dense.data.dtype)
     out_data = csr @ dense.data
-    transposed = csr.T.tocsr()
 
     def backward(grad):
-        return (transposed @ grad,)
+        return (csr.T @ grad,)
 
     return Tensor._make(out_data, (dense,), backward)
+
+
+def _sorted_segment_bounds(segment_ids: np.ndarray,
+                           num_segments: int) -> tuple[np.ndarray, np.ndarray]:
+    """(start offsets, nonempty mask) for sorted ids, for np.add.reduceat."""
+    starts = np.searchsorted(segment_ids, np.arange(num_segments),
+                             side="left")
+    counts = np.bincount(segment_ids, minlength=num_segments)
+    return starts, counts > 0
 
 
 def segment_sum(values: Tensor, segment_ids: np.ndarray,
@@ -86,8 +109,19 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray,
     values = as_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     out_shape = (num_segments,) + values.shape[1:]
-    out_data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(out_data, segment_ids, values.data)
+    out_data = np.zeros(out_shape, dtype=values.data.dtype)
+    if segment_ids.size:
+        if np.all(segment_ids[1:] >= segment_ids[:-1]):
+            # Sorted ids (the block-diagonal batch layout): contiguous
+            # reduction, ~10x faster than the np.add.at scatter.  reduceat
+            # misbehaves on empty segments (repeated offsets), so reduce
+            # only the nonempty ones and scatter into the zero output.
+            starts, nonempty = _sorted_segment_bounds(segment_ids,
+                                                      num_segments)
+            reduced = np.add.reduceat(values.data, starts[nonempty], axis=0)
+            out_data[nonempty] = reduced
+        else:
+            np.add.at(out_data, segment_ids, values.data)
 
     def backward(grad):
         return (grad[segment_ids],)
@@ -98,10 +132,13 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray,
 def segment_mean(values: Tensor, segment_ids: np.ndarray,
                  num_segments: int) -> Tensor:
     """Mean-readout over segments; empty segments yield zeros."""
+    values = as_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (values.ndim - 1))
-    return segment_sum(values, segment_ids, num_segments) / Tensor(counts)
+    counts = np.bincount(segment_ids,
+                         minlength=num_segments).astype(values.data.dtype)
+    counts = np.maximum(counts, 1.0).reshape(
+        (num_segments,) + (1,) * (values.ndim - 1))
+    return segment_sum(values, segment_ids, num_segments) / _const(counts)
 
 
 def segment_max(values: Tensor, segment_ids: np.ndarray,
@@ -109,15 +146,16 @@ def segment_max(values: Tensor, segment_ids: np.ndarray,
     """Max-readout over segments (gradient flows to the argmax rows)."""
     values = as_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    dtype = values.data.dtype
     out_shape = (num_segments,) + values.shape[1:]
-    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    out_data = np.full(out_shape, -np.inf, dtype=dtype)
     np.maximum.at(out_data, segment_ids, values.data)
     out_data[np.isneginf(out_data)] = 0.0
     # Mask of rows/columns attaining the per-segment maximum.
     attains = (values.data == out_data[segment_ids])
     # Split ties evenly within a segment.
-    tie_counts = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(tie_counts, segment_ids, attains.astype(np.float64))
+    tie_counts = np.zeros(out_shape, dtype=dtype)
+    np.add.at(tie_counts, segment_ids, attains.astype(dtype))
     tie_counts = np.maximum(tie_counts, 1.0)
 
     def backward(grad):
@@ -132,9 +170,10 @@ def gather_rows(values: Tensor, indices: np.ndarray) -> Tensor:
     indices = np.asarray(indices, dtype=np.int64)
     out_data = values.data[indices]
     original_shape = values.shape
+    dtype = values.data.dtype
 
     def backward(grad):
-        full = np.zeros(original_shape, dtype=np.float64)
+        full = np.zeros(original_shape, dtype=dtype)
         np.add.at(full, indices, grad)
         return (full,)
 
@@ -144,7 +183,7 @@ def gather_rows(values: Tensor, indices: np.ndarray) -> Tensor:
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Numerically stable log-sum-exp along ``axis``."""
     x = as_tensor(x)
-    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shift = _const(x.data.max(axis=axis, keepdims=True))
     shifted = x - shift
     result = shifted.exp().sum(axis=axis, keepdims=True).log() + shift
     if not keepdims:
@@ -157,7 +196,7 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _const(x.data.max(axis=axis, keepdims=True))
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
@@ -165,7 +204,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Stable log-softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _const(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -201,8 +240,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     out_data = np.where(condition, a.data, b.data)
 
     def backward(grad):
-        return (np.where(condition, grad, 0.0) * np.ones_like(a.data),
-                np.where(condition, 0.0, grad) * np.ones_like(b.data))
+        zero = np.zeros((), dtype=grad.dtype)
+        return (np.where(condition, grad, zero) * np.ones_like(a.data),
+                np.where(condition, zero, grad) * np.ones_like(b.data))
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -210,7 +250,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 def dropout_mask(shape: tuple[int, ...], rate: float,
                  rng: np.random.Generator) -> np.ndarray:
     """Sample an inverted-dropout mask (scaled so expectation is identity)."""
+    from .dtype import get_default_dtype
+
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    return (rng.random(shape) < keep).astype(np.float64) / keep
+    return (rng.random(shape) < keep).astype(get_default_dtype()) / keep

@@ -11,8 +11,16 @@ The design is deliberately simple and explicit:
 * every operation returns a new :class:`Tensor` holding references to its
   parents and a ``_backward`` closure that accumulates gradients into them;
 * :meth:`Tensor.backward` topologically sorts the graph and runs the closures
-  in reverse order;
-* gradients are plain numpy arrays stored on ``Tensor.grad``.
+  in reverse order, routing intermediate gradients through a buffer dict and
+  materializing ``.grad`` only on *leaf* tensors (nodes without a backward
+  closure) — interior nodes never allocate a ``.grad`` array;
+* after the sweep the graph is freed (closures and parent links dropped)
+  unless ``retain_graph=True``, so step ``t``'s graph cannot pin memory into
+  step ``t+1``.
+
+Leaf tensors default to the dtype policy in :mod:`repro.tensor.dtype`
+(float64 unless changed); interior nodes keep whatever dtype the numpy
+kernels produce, so a float32 graph stays float32 through backward.
 
 First-order autodiff is all GradGCL needs: the paper's Eq. (6) gradient
 features are implemented as an explicit composition of these primitives (see
@@ -26,6 +34,8 @@ import contextlib
 from typing import Callable, Sequence
 
 import numpy as np
+
+from .dtype import get_default_dtype
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
@@ -68,28 +78,49 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(index) -> bool:
+    """True when ``index`` is basic (view) indexing: no duplicate positions.
+
+    Slices, integers, Ellipsis, newaxis, and tuples of those select each
+    source element at most once, so the adjoint is a direct slice assignment
+    instead of the much slower ``np.add.at`` scatter.  Boolean masks also
+    never repeat positions, but integer arrays/lists can and must scatter.
+    """
+    if isinstance(index, tuple):
+        return all(_is_basic_index(i) for i in index)
+    if isinstance(index, (slice, type(Ellipsis), type(None))):
+        return True
+    return isinstance(index, (int, np.integer)) and not isinstance(index, bool)
+
+
 class Tensor:
     """A numpy-backed tensor with reverse-mode automatic differentiation.
 
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a floating-point numpy array.
     requires_grad:
         When True, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Explicit dtype override; defaults to the module dtype policy
+        (:func:`repro.tensor.set_default_dtype`).
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_freed")
 
-    def __init__(self, data, requires_grad: bool = False):
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(
+            data, dtype=get_default_dtype() if dtype is None else dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._freed = False
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -105,6 +136,10 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def T(self) -> "Tensor":
@@ -126,10 +161,21 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but cut off from the graph."""
-        return Tensor(self.data)
+        return Tensor(self.data, dtype=self.data.dtype)
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (gradient is cast back)."""
+        original = self.data.dtype
+        out_data = self.data.astype(dtype, copy=False)
+
+        def backward(grad):
+            return (grad.astype(original, copy=False),)
+
+        return Tensor._make(out_data, (self,), backward)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad,
+                      dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -140,38 +186,69 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create a result tensor wired into the autograd graph."""
+        """Create a result tensor wired into the autograd graph.
+
+        Interior nodes keep the dtype the numpy kernel produced rather than
+        coercing to the default policy (see module docstring).
+        """
+        data = np.asarray(data)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's ``.grad`` buffer."""
+    def _accumulate(self, grad: np.ndarray, donate: bool = False) -> None:
+        """Add ``grad`` into this tensor's ``.grad`` buffer.
+
+        ``donate=True`` signals that the caller owns ``grad`` exclusively
+        (freshly allocated during the backward sweep) so it can be adopted
+        as ``.grad`` without a defensive copy.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            if (donate and isinstance(grad, np.ndarray)
+                    and grad.dtype == self.data.dtype
+                    and grad.shape == self.data.shape):
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
             self.grad += grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
+
+        Gradients are routed through a per-sweep buffer dict; only leaf
+        tensors (``requires_grad=True`` with no backward closure) get their
+        ``.grad`` materialized.  Unless ``retain_graph=True``, the traversed
+        graph is freed afterwards (closures and parent links dropped) and a
+        second ``backward()`` through it raises ``RuntimeError``.
 
         Parameters
         ----------
         grad:
             Seed gradient; defaults to 1 for scalar tensors.
+        retain_graph:
+            Keep the graph alive for another backward pass.
         """
+        if self._freed:
+            raise RuntimeError(
+                "graph has already been freed by a previous backward(); "
+                "pass retain_graph=True to backpropagate through it again")
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
                     "backward() without an explicit gradient is only valid "
                     f"for scalar tensors, got shape {self.shape}")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            seed_owned = True
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            seed_owned = False
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"seed gradient shape {grad.shape} does not match tensor "
@@ -194,37 +271,50 @@ class Tensor:
                 if id(parent) not in seen:
                     stack.append((parent, False))
 
-        # Seed and run closures in reverse topological order.
+        # Reverse sweep.  ``grads`` maps node id -> accumulated upstream
+        # gradient; ``owned`` tracks which buffers this sweep allocated and
+        # may therefore mutate in place or donate to a leaf's ``.grad``.
+        # Buffers received straight from a closure are *not* owned: they may
+        # alias the closure's upstream gradient or a sibling contribution.
         grads: dict[int, np.ndarray] = {id(self): grad}
-        self._accumulate(grad)
+        owned: dict[int, bool] = {id(self): seed_owned}
         for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None or node._backward is None:
+            key = id(node)
+            node_grad = grads.pop(key, None)
+            if node_grad is None:
                 continue
-            # The closure receives the upstream gradient and pushes into
-            # parents via ``_push`` captured below.
-            node._run_backward(node_grad, grads)
+            node_owned = owned.pop(key, False)
+            if node._backward is None:
+                node._accumulate(node_grad, donate=node_owned)
+                continue
+            contributions = node._backward(node_grad)
+            for parent, contribution in zip(node._parents, contributions):
+                if contribution is None or not parent.requires_grad:
+                    continue
+                contribution = np.asarray(contribution)
+                pkey = id(parent)
+                existing = grads.get(pkey)
+                if existing is None:
+                    grads[pkey] = contribution
+                    owned[pkey] = False
+                elif owned[pkey]:
+                    existing += contribution
+                else:
+                    grads[pkey] = existing + contribution
+                    owned[pkey] = True
 
-    def _run_backward(self, upstream: np.ndarray,
-                      grads: dict[int, np.ndarray]) -> None:
-        """Invoke the backward closure, routing parent grads via ``grads``."""
-        contributions = self._backward(upstream)
-        for parent, contribution in zip(self._parents, contributions):
-            if contribution is None or not parent.requires_grad:
-                continue
-            contribution = np.asarray(contribution, dtype=np.float64)
-            key = id(parent)
-            if key in grads:
-                grads[key] = grads[key] + contribution
-            else:
-                grads[key] = contribution
-            parent._accumulate(contribution)
+        if not retain_graph:
+            for node in order:
+                if node._backward is not None:
+                    node._backward = None
+                    node._parents = ()
+                    node._freed = True
 
     # ------------------------------------------------------------------
     # Arithmetic (broadcasting)
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad):
@@ -236,7 +326,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data - other.data
 
         def backward(grad):
@@ -246,10 +336,10 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other).__sub__(self)
+        return as_tensor(other, dtype=self.data.dtype).__sub__(self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad):
@@ -261,7 +351,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad):
@@ -272,7 +362,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other).__truediv__(self)
+        return as_tensor(other, dtype=self.data.dtype).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
         def backward(grad):
@@ -291,7 +381,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __matmul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, dtype=self.data.dtype)
         out_data = self.data @ other.data
 
         def backward(grad):
@@ -375,7 +465,7 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype)
 
         def backward(grad):
             return (grad * scale,)
@@ -478,17 +568,31 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         original_shape = self.shape
+        original_dtype = self.data.dtype
+        # Basic indexing and boolean masks select each position at most
+        # once, so the adjoint is a direct assignment; only integer-array
+        # indices (which may repeat) need the slow np.add.at scatter.
+        direct = (_is_basic_index(index)
+                  or (isinstance(index, np.ndarray) and index.dtype == bool))
 
         def backward(grad):
-            full = np.zeros(original_shape, dtype=np.float64)
-            np.add.at(full, index, grad)
+            full = np.zeros(original_shape, dtype=original_dtype)
+            if direct:
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
             return (full,)
 
         return Tensor._make(out_data, (self,), backward)
 
 
-def as_tensor(value) -> Tensor:
-    """Coerce numbers/arrays/Tensors to a :class:`Tensor` without copying."""
+def as_tensor(value, dtype=None) -> Tensor:
+    """Coerce numbers/arrays/Tensors to a :class:`Tensor` without copying.
+
+    ``dtype`` applies only when ``value`` is not already a Tensor; it lets
+    ops wrap python scalars at the dtype of the graph they join instead of
+    the global default (keeping float32 graphs float32).
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(value)
+    return Tensor(value, dtype=dtype)

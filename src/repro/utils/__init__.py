@@ -1,8 +1,8 @@
 """Shared utilities: seeding, timing, and result-table formatting."""
 
 from .seed import seeded_rng, set_global_seed
-from .timer import Timer
+from .timer import LapStats, Timer, lap_statistics
 from .tables import format_cell, format_table, print_table
 
-__all__ = ["seeded_rng", "set_global_seed", "Timer", "format_cell",
-           "format_table", "print_table"]
+__all__ = ["seeded_rng", "set_global_seed", "Timer", "LapStats",
+           "lap_statistics", "format_cell", "format_table", "print_table"]

@@ -1,14 +1,28 @@
-"""Small wall-clock timer used by the efficiency benchmarks (Table VIII)."""
+"""Wall-clock timing utilities for the efficiency benchmarks (Table VIII).
+
+:class:`Timer` supports two styles:
+
+* the original context-manager form, which records one interval in
+  ``elapsed``; and
+* explicit ``start()`` / ``lap()`` / ``stop()`` calls, which accumulate a
+  list of per-lap durations in ``laps`` for robust aggregation.
+
+:func:`lap_statistics` condenses a sample of durations into the order
+statistics the benchmark tables report (p50/p95), which are far less
+sensitive to scheduler noise than a mean over a handful of epochs.
+"""
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Sequence
 
-__all__ = ["Timer"]
+__all__ = ["Timer", "LapStats", "lap_statistics"]
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Wall-clock timer with context-manager and lap-recording APIs.
 
     Example
     -------
@@ -16,16 +30,93 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0.0
     True
+
+    >>> t = Timer()
+    >>> t.start()
+    >>> for _ in range(3):
+    ...     _ = sum(range(1000))
+    ...     _ = t.lap()
+    >>> len(t.laps)
+    3
     """
 
     def __init__(self):
         self.elapsed = 0.0
+        self.laps: list[float] = []
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self.start()
         return self
 
     def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> "Timer":
+        """Begin timing (also resets the current lap origin)."""
+        self._start = time.perf_counter()
+        return self
+
+    def lap(self) -> float:
+        """Record the time since ``start()``/the previous ``lap()``.
+
+        Appends the duration to ``laps`` and restarts the lap clock.
+        """
+        if self._start is None:
+            raise RuntimeError("Timer.lap() called before start()")
+        now = time.perf_counter()
+        duration = now - self._start
+        self.laps.append(duration)
+        self._start = now
+        return duration
+
+    def stop(self) -> float:
+        """Stop timing; sets ``elapsed`` to the final interval."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
         self.elapsed = time.perf_counter() - self._start
         self._start = None
+        return self.elapsed
+
+    def statistics(self) -> "LapStats":
+        """Aggregate the recorded laps (see :func:`lap_statistics`)."""
+        return lap_statistics(self.laps)
+
+
+@dataclass(frozen=True)
+class LapStats:
+    """Order statistics over a sample of durations (seconds)."""
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (matches ``numpy.percentile``)."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def lap_statistics(samples: Sequence[float]) -> LapStats:
+    """Summarize durations with count/total/mean and p50/p95.
+
+    Percentiles use linear interpolation between order statistics, the same
+    convention as ``numpy.percentile``; pure python keeps this usable from
+    contexts where the samples are plain lists (training histories).
+    """
+    if not samples:
+        raise ValueError("lap_statistics needs at least one sample")
+    ordered = sorted(float(s) for s in samples)
+    total = sum(ordered)
+    return LapStats(count=len(ordered), total=total,
+                    mean=total / len(ordered),
+                    p50=_percentile(ordered, 0.50),
+                    p95=_percentile(ordered, 0.95))

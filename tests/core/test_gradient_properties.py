@@ -44,9 +44,13 @@ def test_gradients_live_in_candidate_span(pair):
     assume(np.linalg.matrix_rank(v_np) >= 1)
     g, _ = infonce_gradient_features(Tensor(u_np), Tensor(v_np), tau=0.5,
                                      sim="dot")
-    stacked = np.concatenate([v_np, g.data], axis=0)
-    assert (np.linalg.matrix_rank(stacked, tol=1e-8)
-            == np.linalg.matrix_rank(v_np, tol=1e-8))
+    # Least-squares residual of projecting each gradient row onto span(v) —
+    # rank comparisons are brittle for matrices whose entries sit exactly at
+    # the rank tolerance, whereas g = (P - I) v is in span(v) by construction
+    # so its projection residual is zero up to roundoff.
+    coeffs, *_ = np.linalg.lstsq(v_np.T, g.data.T, rcond=None)
+    residual = g.data.T - v_np.T @ coeffs
+    assert np.abs(residual).max() <= 1e-8 * max(1.0, np.abs(g.data).max())
 
 
 @settings(max_examples=25, deadline=None)

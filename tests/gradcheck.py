@@ -27,11 +27,14 @@ def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
 
 
 def assert_gradients_match(fn: Callable[[], Tensor], *tensors: Tensor,
-                           atol: float = 1e-5, rtol: float = 1e-4) -> None:
+                           atol: float = 1e-5, rtol: float = 1e-4,
+                           eps: float = 1e-6) -> None:
     """Check autograd gradients of scalar ``fn()`` against finite differences.
 
     ``fn`` must rebuild the graph from the given leaf tensors on every call
-    (so the numerical probe sees perturbed values).
+    (so the numerical probe sees perturbed values).  ``eps`` is the
+    central-difference step; float32 leaves need a much larger step (and
+    looser tolerances) than the float64 default.
     """
     for t in tensors:
         t.grad = None
@@ -40,7 +43,7 @@ def assert_gradients_match(fn: Callable[[], Tensor], *tensors: Tensor,
     out.backward()
     for t in tensors:
         assert t.grad is not None, "missing analytic gradient"
-        expected = numerical_gradient(fn, t)
+        expected = numerical_gradient(fn, t, eps=eps)
         np.testing.assert_allclose(
             t.grad, expected, atol=atol, rtol=rtol,
             err_msg="autograd does not match finite differences")

@@ -120,6 +120,88 @@ class TestErrors:
             _ = x ** Tensor([2.0])
 
 
+class TestGraphFreeing:
+    def test_second_backward_raises(self):
+        x = Tensor([3.0], requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="retain_graph"):
+            loss.backward()
+
+    def test_retain_graph_allows_repeat(self):
+        x = Tensor([3.0], requires_grad=True)
+        loss = (x * x).sum()
+        loss.backward(retain_graph=True)
+        loss.backward(retain_graph=True)
+        # Two sweeps of the same graph accumulate into the leaf.
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_backward_frees_interior_nodes(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x
+        y.sum().backward()
+        assert y._backward is None
+        assert y._parents == ()
+
+    def test_retain_graph_keeps_interior_nodes(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x
+        y.sum().backward(retain_graph=True)
+        assert y._backward is not None
+        assert y._parents != ()
+
+    def test_interior_nodes_get_no_grad(self):
+        # Gradients flow through interior nodes via the per-sweep dict;
+        # only leaves materialize .grad.
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0
+        z = y * y
+        z.sum().backward()
+        assert y.grad is None and z.grad is None
+        np.testing.assert_allclose(x.grad, [36.0])
+
+    def test_leaf_grad_not_aliased_to_sibling(self):
+        # __add__ pushes the same upstream buffer to both parents; leaf
+        # .grads must still be independent arrays.
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        a.grad[0] = 99.0
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_fresh_graph_after_freeing_works(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+
+class TestGetitemBackward:
+    def test_slice_gradcheck(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        weights = Tensor(rng.normal(size=(2, 4)))
+        assert_gradients_match(lambda: (x[1:5:2] * weights).sum(), x)
+
+    def test_strided_slice_grad(self):
+        x = Tensor(np.arange(8, dtype=np.float64), requires_grad=True)
+        x[::3].sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 0, 0, 1, 0, 0, 1, 0])
+
+    def test_duplicate_integer_indices_accumulate(self):
+        # The direct-assignment fast path must not apply to fancy indices
+        # with repeats — contributions have to add up.
+        x = Tensor(np.arange(5, dtype=np.float64), requires_grad=True)
+        x[np.array([0, 0, 3, 0])].sum().backward()
+        np.testing.assert_allclose(x.grad, [3, 0, 0, 1, 0])
+
+    def test_boolean_mask_grad(self):
+        x = Tensor(np.arange(5, dtype=np.float64), requires_grad=True)
+        mask = np.array([True, False, True, False, True])
+        x[mask].sum().backward()
+        np.testing.assert_allclose(x.grad, [1, 0, 1, 0, 1])
+
+
 class TestDtypeAndViews:
     def test_data_is_float64(self):
         assert Tensor([1, 2, 3]).data.dtype == np.float64

@@ -1,0 +1,99 @@
+"""Dtype policy: set_default_dtype / autocast and float32 training flows."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    autocast,
+    get_default_dtype,
+    set_default_dtype,
+)
+
+
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+    def test_set_default_dtype_returns_previous(self):
+        previous = set_default_dtype(np.float32)
+        try:
+            assert previous == np.float64
+            assert get_default_dtype() == np.float32
+            assert Tensor([1.0]).data.dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+        assert get_default_dtype() == np.float64
+
+    def test_rejects_non_float_dtypes(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_explicit_dtype_overrides_default(self):
+        assert Tensor([1.0], dtype=np.float32).data.dtype == np.float32
+
+
+class TestAutocast:
+    def test_restores_on_exit(self):
+        with autocast("float32"):
+            assert get_default_dtype() == np.float32
+        assert get_default_dtype() == np.float64
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with autocast("float32"):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.float64
+
+    def test_float32_graph_stays_float32(self):
+        rng = np.random.default_rng(0)
+        with autocast("float32"):
+            a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+            b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+            # Mixed tensor/scalar arithmetic must not promote to float64.
+            loss = (((a @ b) + 1.0).relu() * 2.0 / 3.0 - 0.1).sum()
+            assert loss.data.dtype == np.float32
+            loss.backward()
+        assert a.grad.dtype == np.float32
+        assert b.grad.dtype == np.float32
+
+    def test_float32_softmax_ops_stay_float32(self):
+        from repro.tensor import log_softmax, softmax
+
+        with autocast("float32"):
+            x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+            assert softmax(x, axis=1).data.dtype == np.float32
+            assert log_softmax(x, axis=1).data.dtype == np.float32
+
+    def test_float64_tensors_unaffected_inside_autocast(self):
+        x = Tensor([1.0, 2.0])
+        with autocast("float32"):
+            # Interior nodes keep the dtype of their inputs; autocast only
+            # governs leaf creation.
+            assert (x * 2.0).data.dtype == np.float64
+
+
+class TestModelDtype:
+    def test_parameters_and_grads_follow_autocast(self):
+        from repro.nn import Linear
+
+        with autocast("float32"):
+            layer = Linear(4, 3, rng=np.random.default_rng(0))
+            assert layer.weight.data.dtype == np.float32
+            out = layer(Tensor(np.ones((2, 4))))
+            assert out.data.dtype == np.float32
+            out.sum().backward()
+            assert layer.weight.grad.dtype == np.float32
+
+    def test_training_step_float32(self):
+        from repro.nn import Adam, Linear
+
+        with autocast("float32"):
+            rng = np.random.default_rng(0)
+            layer = Linear(4, 2, rng=rng)
+            optimizer = Adam(layer.parameters(), lr=1e-2)
+            loss = (layer(Tensor(rng.normal(size=(5, 4)))) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+            assert layer.weight.data.dtype == np.float32

@@ -9,6 +9,7 @@ from repro.utils import (
     Timer,
     format_cell,
     format_table,
+    lap_statistics,
     print_table,
     seeded_rng,
     set_global_seed,
@@ -52,6 +53,51 @@ class TestTimer:
         with t:
             time.sleep(0.01)
         assert t.elapsed >= first
+
+    def test_laps_accumulate(self):
+        t = Timer().start()
+        for _ in range(3):
+            time.sleep(0.001)
+            lap = t.lap()
+            assert lap >= 0.0
+        t.stop()
+        assert len(t.laps) == 3
+        assert all(lap >= 0.0 for lap in t.laps)
+
+    def test_lap_before_start_raises(self):
+        with pytest.raises(RuntimeError, match="start"):
+            Timer().lap()
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError, match="start"):
+            Timer().stop()
+
+    def test_statistics_over_laps(self):
+        t = Timer().start()
+        for _ in range(5):
+            t.lap()
+        stats = t.statistics()
+        assert stats.count == 5
+        assert stats.p50 <= stats.p95
+
+
+class TestLapStatistics:
+    def test_matches_numpy_percentiles(self):
+        samples = [5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 7.0]
+        stats = lap_statistics(samples)
+        assert stats.count == len(samples)
+        assert stats.total == pytest.approx(sum(samples))
+        assert stats.mean == pytest.approx(np.mean(samples))
+        assert stats.p50 == pytest.approx(np.percentile(samples, 50))
+        assert stats.p95 == pytest.approx(np.percentile(samples, 95))
+
+    def test_single_sample(self):
+        stats = lap_statistics([2.5])
+        assert stats.p50 == stats.p95 == stats.mean == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lap_statistics([])
 
 
 class TestSeeding:
