@@ -1,18 +1,41 @@
 # Convenience targets for the GradGCL reproduction.
+#
+# All python invocations set PYTHONPATH=src so every target works in a fresh
+# checkout without `pip install -e .`, matching the tier-1 command in
+# ROADMAP.md exactly.
 
-.PHONY: install test bench bench-small bench-tensor check-perf examples clean
+.PHONY: install test test-fast test-all ci lint bench bench-small \
+        bench-tensor check-perf examples clean
+
+PYTEST = PYTHONPATH=src python -m pytest
 
 install:
 	pip install -e . --no-build-isolation
 
+# Tier-1 verify (ROADMAP.md): the whole suite, bail on first failure.
 test:
-	pytest tests/
+	$(PYTEST) -x -q
+
+# What CI tier (b) runs: everything except @pytest.mark.slow.
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+# Nightly-style: every test including the slow suites, no early bail.
+test-all:
+	$(PYTEST) -q
+
+# Full tiered gate: static checks, fast tests, telemetry smoke, perf.
+ci:
+	python scripts/ci.py
+
+lint:
+	python scripts/lint_repro.py
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTEST) benchmarks/ --benchmark-only
 
 bench-small:
-	REPRO_SCALE=small pytest benchmarks/ --benchmark-only
+	REPRO_SCALE=small $(PYTEST) benchmarks/ --benchmark-only
 
 bench-tensor:
 	PYTHONPATH=src python -m benchmarks.bench_tensor_ops
@@ -21,13 +44,13 @@ check-perf:
 	PYTHONPATH=src python scripts/check_perf.py
 
 examples:
-	python examples/quickstart.py
-	python examples/graph_classification.py
-	python examples/node_classification.py
-	python examples/transfer_learning.py
-	python examples/collapse_analysis.py
-	python examples/gradient_flow_theory.py
-	python examples/custom_method.py
+	PYTHONPATH=src python examples/quickstart.py
+	PYTHONPATH=src python examples/graph_classification.py
+	PYTHONPATH=src python examples/node_classification.py
+	PYTHONPATH=src python examples/transfer_learning.py
+	PYTHONPATH=src python examples/collapse_analysis.py
+	PYTHONPATH=src python examples/gradient_flow_theory.py
+	PYTHONPATH=src python examples/custom_method.py
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results

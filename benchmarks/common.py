@@ -23,10 +23,26 @@ import numpy as np
 
 from repro.core import gradgcl
 from repro.methods import train_graph_method, train_node_method
+from repro.obs import RunJournal
 from repro.utils import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPORTS: list[str] = []
+_JOURNAL: RunJournal | None = None
+
+
+def journal() -> RunJournal:
+    """Session journal under ``benchmarks/results/`` (appends across runs).
+
+    Every bench table is mirrored as a ``bench_table`` event, so benchmark
+    output shares the run-journal schema of the training loops and can be
+    rendered with ``repro report benchmarks/results``.  Set
+    ``REPRO_JOURNAL=0`` to silence it (e.g. from read-only checkouts).
+    """
+    global _JOURNAL
+    if _JOURNAL is None:
+        _JOURNAL = RunJournal(RESULTS_DIR, append=True)
+    return _JOURNAL
 
 
 @dataclass(frozen=True)
@@ -61,13 +77,19 @@ def full_grid() -> bool:
 
 def report(name: str, title: str, headers: Sequence[str],
            rows: Sequence[Sequence[object]], note: str = "") -> None:
-    """Record a result table: terminal summary + results/<name>.txt."""
+    """Record a result table: terminal summary, results/<name>.txt, and a
+    ``bench_table`` journal event in the shared telemetry schema."""
     text = f"=== {title} ===\n" + format_table(headers, rows)
     if note:
         text += f"\n{note}"
     REPORTS.append(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if os.environ.get("REPRO_JOURNAL", "1") != "0":
+        journal().log("bench_table", name=name, title=title,
+                      headers=[str(h) for h in headers],
+                      rows=[[str(cell) for cell in row] for row in rows],
+                      note=note, scale=os.environ.get("REPRO_SCALE", "bench"))
 
 
 def build_graph_variant(cls, dataset, weight: float, seed: int,

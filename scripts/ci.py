@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Tiered CI gate for the GradGCL reproduction (``make ci``).
+
+Tiers run in order and the gate stops at the first failure:
+
+* **a — static**: ``python -m compileall`` over all python trees plus the
+  custom :mod:`scripts.lint_repro` rules (no ``print()`` in the library,
+  no bare ``except:``).
+* **b — tests**: the tier-1 suite minus ``@pytest.mark.slow``
+  (``PYTHONPATH=src python -m pytest -x -q -m "not slow"``); the slow
+  suites run from ``make test-all`` nightly-style.
+* **c — telemetry smoke**: a 2-epoch GradGCL-wrapped GraphCL training run
+  with ``--run-dir``, then schema validation of the resulting JSONL
+  journal (config / epoch with loss_f+loss_g+grad_norm+throughput /
+  spectrum / engine / run_end) and a ``repro report`` render.
+* **d — perf**: ``scripts/check_perf.py --strict``, the fused-kernel
+  microbenchmarks against the committed ``BENCH_tensor.json`` baseline
+  (fails on >20% regression).
+
+Usage::
+
+    python scripts/ci.py             # all tiers
+    python scripts/ci.py --tiers ab  # static + tests only
+    python scripts/ci.py --skip d    # everything but the perf gate
+
+``.github/workflows/ci.yml`` mirrors this entry point, so local ``make ci``
+and hosted CI can never drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+SMOKE_ARGS = ["train-graph", "--method", "GraphCL", "--dataset", "MUTAG",
+              "--epochs", "2", "--weight", "0.5", "--scale", "tiny",
+              "--seed", "0"]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{SRC}:{existing}" if existing else str(SRC)
+    return env
+
+
+def _run(argv: list[str], **kwargs) -> int:
+    print(f"  $ {' '.join(argv)}", flush=True)
+    return subprocess.call(argv, cwd=REPO_ROOT, env=_env(), **kwargs)
+
+
+def tier_a_static() -> int:
+    """Byte-compile every python tree, then the custom lint rules."""
+    trees = ["src", "scripts", "tests", "benchmarks", "examples"]
+    status = _run([sys.executable, "-m", "compileall", "-q", *trees])
+    if status:
+        return status
+    return _run([sys.executable, "scripts/lint_repro.py"])
+
+
+def tier_b_tests() -> int:
+    """Tier-1 suite with the slow marker deselected."""
+    return _run([sys.executable, "-m", "pytest", "-x", "-q",
+                 "-m", "not slow"])
+
+
+def _validate_smoke_journal(run_dir: str) -> int:
+    """Assert the smoke run produced a complete, schema-valid journal."""
+    sys.path.insert(0, str(SRC))
+    from repro.obs import events_of, validate_journal
+
+    events = validate_journal(run_dir)
+    failures = []
+    configs = events_of(events, "config")
+    if not configs:
+        failures.append("no config event")
+    elif configs[0].get("gradgcl_weight") != 0.5:
+        failures.append("config event missing gradgcl_weight=0.5")
+    epochs = events_of(events, "epoch")
+    if len(epochs) != 2:
+        failures.append(f"expected 2 epoch events, got {len(epochs)}")
+    for record in epochs:
+        for key in ("loss", "loss_f", "loss_g", "grad_norm", "seconds",
+                    "graphs_per_sec"):
+            if key not in record:
+                failures.append(f"epoch event missing {key!r}")
+    spectra = events_of(events, "spectrum")
+    if not spectra:
+        failures.append("no spectrum event")
+    elif not spectra[-1].get("singular_values"):
+        failures.append("spectrum event has no singular_values")
+    if not events_of(events, "engine"):
+        failures.append("no engine event")
+    if not events_of(events, "run_end"):
+        failures.append("no run_end event")
+    for failure in failures:
+        print(f"  journal check failed: {failure}")
+    if not failures:
+        print(f"  journal ok: {len(events)} schema-valid events")
+    return len(failures)
+
+
+def tier_c_smoke() -> int:
+    """2-epoch telemetry smoke train + journal validation + report render."""
+    with tempfile.TemporaryDirectory(prefix="repro-ci-smoke-") as tmp:
+        run_dir = str(Path(tmp) / "run")
+        status = _run([sys.executable, "-m", "repro.cli", *SMOKE_ARGS,
+                       "--run-dir", run_dir])
+        if status:
+            return status
+        status = _validate_smoke_journal(run_dir)
+        if status:
+            return status
+        return _run([sys.executable, "-m", "repro.cli", "report", run_dir],
+                    stdout=subprocess.DEVNULL)
+
+
+def tier_d_perf() -> int:
+    """Strict fused-kernel perf gate against the committed baseline."""
+    return _run([sys.executable, "scripts/check_perf.py", "--strict"])
+
+
+TIERS = {
+    "a": ("static checks (compileall + lint_repro)", tier_a_static),
+    "b": ("tier-1 tests (-m 'not slow')", tier_b_tests),
+    "c": ("telemetry smoke train + journal schema", tier_c_smoke),
+    "d": ("perf gate vs BENCH_tensor.json (--strict)", tier_d_perf),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiers", default="abcd",
+                        help="which tiers to run, in order (default: abcd)")
+    parser.add_argument("--skip", default="",
+                        help="tiers to drop from the selection")
+    args = parser.parse_args(argv)
+
+    selected = [t for t in args.tiers if t not in args.skip]
+    unknown = [t for t in selected if t not in TIERS]
+    if unknown:
+        parser.error(f"unknown tier(s) {unknown}; choose from {list(TIERS)}")
+
+    for tier in selected:
+        title, fn = TIERS[tier]
+        print(f"\n=== tier {tier}: {title} ===", flush=True)
+        started = time.perf_counter()
+        status = fn()
+        elapsed = time.perf_counter() - started
+        if status:
+            print(f"tier {tier} FAILED in {elapsed:.1f}s (exit {status})")
+            return 1
+        print(f"tier {tier} passed in {elapsed:.1f}s")
+    print(f"\nCI gate green: tiers {', '.join(selected)} all passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""AST-based repo lint for CI tier (a).
+
+Two rules, both cheap and both aimed at keeping the library embeddable:
+
+1. **No ``print()`` in the library** — ``src/repro/`` must stay silent so it
+   can run inside servers and benchmark harnesses; all terminal output
+   belongs to the CLI (``cli.py``) or the designated table renderer
+   (``utils/tables.py``), which are allowlisted.
+2. **No bare ``except:``** anywhere under ``src/`` — swallowing
+   ``KeyboardInterrupt``/``SystemExit`` has no place in a training stack.
+
+Exit status is the number of violations (0 = clean).  Run from the repo
+root::
+
+    python scripts/lint_repro.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LIBRARY = REPO_ROOT / "src" / "repro"
+
+# Modules whose job is terminal rendering; print() is their output channel.
+PRINT_ALLOWED = {LIBRARY / "cli.py", LIBRARY / "utils" / "tables.py"}
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    problems = []
+    rel = path.relative_to(REPO_ROOT)
+    print_banned = (LIBRARY in path.parents and path not in PRINT_ALLOWED)
+    for node in ast.walk(tree):
+        if (print_banned
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            problems.append(
+                f"{rel}:{node.lineno}: print() in library code — return "
+                "data or log to a RunJournal instead")
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(
+                f"{rel}:{node.lineno}: bare 'except:' — catch a specific "
+                "exception type")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"lint_repro: clean ({LIBRARY.relative_to(REPO_ROOT)})")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

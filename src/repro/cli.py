@@ -15,11 +15,17 @@ Subcommands
     covariance spectrum summary.
 ``flow``
     Run the Lemma 2/3 linear-encoder gradient-flow simulation.
+``report``
+    Render the JSONL telemetry journal of a ``--run-dir`` training run as
+    text tables (config, per-epoch losses/grad-norms/throughput, collapse
+    spectrum, span timings, engine counters).
 
 Examples::
 
     repro datasets --family tu
     repro train-graph --method SimGRACE --dataset MUTAG --weight 0.5
+    repro train-graph --method GraphCL --epochs 2 --run-dir runs/smoke
+    repro report runs/smoke
     repro train-node --method GRACE --dataset Cora --weight 0.2
     repro spectrum --dataset IMDB-B --weight 0.5
     repro flow --weight 0.5
@@ -66,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     tg.add_argument("--seed", type=int, default=0)
     tg.add_argument("--save", default=None,
                     help="path to save the trained encoder (.npz)")
+    tg.add_argument("--run-dir", default=None,
+                    help="write a JSONL telemetry journal to this directory")
 
     tn = sub.add_parser("train-node",
                         help="train and evaluate a node-level method")
@@ -78,6 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
     tn.add_argument("--scale", default="small",
                     choices=["tiny", "small", "paper"])
     tn.add_argument("--seed", type=int, default=0)
+    tn.add_argument("--run-dir", default=None,
+                    help="write a JSONL telemetry journal to this directory")
 
     sp = sub.add_parser("spectrum", help="collapse spectrum analysis")
     sp.add_argument("--dataset", default="IMDB-B")
@@ -105,7 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--scale", default="small",
                     choices=["tiny", "small", "paper"])
     sw.add_argument("--seed", type=int, default=0)
+
+    rp = sub.add_parser("report",
+                        help="render a run-dir telemetry journal as tables")
+    rp.add_argument("run_dir", help="directory holding events.jsonl")
+    rp.add_argument("--spectrum-top", type=int, default=8,
+                    help="how many leading singular values to print")
     return parser
+
+
+def _open_journal(args):
+    """Fresh RunJournal when ``--run-dir`` was given, else None."""
+    if getattr(args, "run_dir", None) is None:
+        return None
+    from repro.obs import RunJournal
+
+    return RunJournal(args.run_dir)
 
 
 def _cmd_datasets(args) -> int:
@@ -174,17 +199,28 @@ def _cmd_train_graph(args) -> int:
                                         rng=rng)
     if args.weight > 0:
         method = gradgcl(method, args.weight)
-    history = train_graph_method(method, dataset.graphs,
-                                 epochs=args.epochs, batch_size=32,
-                                 seed=args.seed)
-    embeddings = method.embed(dataset.graphs)
-    acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
-                                         seed=args.seed)
+    journal = _open_journal(args)
+    try:
+        history = train_graph_method(method, dataset.graphs,
+                                     epochs=args.epochs, batch_size=32,
+                                     seed=args.seed, journal=journal)
+        embeddings = method.embed(dataset.graphs)
+        acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
+                                             seed=args.seed)
+        if journal is not None:
+            journal.log("eval", dataset=args.dataset, accuracy=acc,
+                        accuracy_std=std,
+                        effective_rank=effective_rank(embeddings))
+    finally:
+        if journal is not None:
+            journal.close()
     print(f"{args.method}(a={args.weight}) on {args.dataset}: "
           f"accuracy {acc:.2f}±{std:.2f}%  "
           f"effective-rank {effective_rank(embeddings):.2f}  "
           f"final-loss {history.final_loss:.3f}  "
           f"time {history.total_seconds:.1f}s")
+    if journal is not None:
+        print(f"journal written to {journal.path}")
     if args.save:
         save_module(method.encoder, args.save)
         print(f"encoder saved to {args.save}")
@@ -209,16 +245,28 @@ def _cmd_train_node(args) -> int:
                      rng=rng)
     if args.weight > 0:
         method = gradgcl(method, args.weight)
-    history = train_node_method(method, dataset.graph, epochs=args.epochs,
-                                lr=3e-3)
-    acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
-                                        dataset.labels(),
-                                        dataset.train_mask,
-                                        dataset.test_mask, seed=args.seed)
+    journal = _open_journal(args)
+    try:
+        history = train_node_method(method, dataset.graph,
+                                    epochs=args.epochs, lr=3e-3,
+                                    journal=journal)
+        acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
+                                            dataset.labels(),
+                                            dataset.train_mask,
+                                            dataset.test_mask,
+                                            seed=args.seed)
+        if journal is not None:
+            journal.log("eval", dataset=args.dataset, accuracy=acc,
+                        accuracy_std=std)
+    finally:
+        if journal is not None:
+            journal.close()
     print(f"{args.method}(a={args.weight}) on {args.dataset}: "
           f"accuracy {acc:.2f}±{std:.2f}%  "
           f"final-loss {history.final_loss:.3f}  "
           f"time {history.total_seconds:.1f}s")
+    if journal is not None:
+        print(f"journal written to {journal.path}")
     return 0
 
 
@@ -295,6 +343,78 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _fmt(value, digits: int = 4) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import events_of, validate_journal
+    from repro.utils import print_table
+
+    events = validate_journal(args.run_dir)
+
+    for config in events_of(events, "config"):
+        rows = [[key, _fmt(value)] for key, value in sorted(config.items())
+                if key not in ("event", "ts")]
+        print_table("Run config", ["Field", "Value"], rows)
+
+    epochs = events_of(events, "epoch")
+    if epochs:
+        throughput_key = ("graphs_per_sec" if "graphs_per_sec" in epochs[0]
+                          else "nodes_per_sec")
+        rows = [[e["epoch"], _fmt(e.get("loss")), _fmt(e.get("loss_f", "-")),
+                 _fmt(e.get("loss_g", "-")), _fmt(e.get("grad_norm", "-")),
+                 _fmt(e.get("seconds")), _fmt(e.get(throughput_key, "-"))]
+                for e in epochs]
+        print_table("Epochs",
+                    ["Epoch", "Loss", "loss_f", "loss_g", "Grad norm",
+                     "Seconds", throughput_key.replace("_per_sec", "/s")],
+                    rows)
+
+    spectra = events_of(events, "spectrum")
+    if spectra:
+        rows = []
+        for e in spectra:
+            values = e.get("singular_values", [])
+            head = "  ".join(_fmt(v, 3) for v in values[:args.spectrum_top])
+            if len(values) > args.spectrum_top:
+                head += "  ..."
+            rows.append([e.get("epoch"), _fmt(e.get("effective_rank")),
+                         e.get("collapsed_dims"), head])
+        print_table("Collapse spectrum (Figs. 1/5)",
+                    ["Epoch", "Eff. rank", "Collapsed", "Top singular "
+                     "values"], rows)
+
+    for ev in events_of(events, "eval"):
+        rows = [[key, _fmt(value)] for key, value in sorted(ev.items())
+                if key not in ("event", "ts")]
+        print_table("Evaluation", ["Field", "Value"], rows)
+
+    for tr in events_of(events, "trace"):
+        rows = [[path, stats["count"], _fmt(stats["total"]),
+                 _fmt(stats["p50"]), _fmt(stats["p95"])]
+                for path, stats in sorted(tr.get("spans", {}).items())]
+        print_table("Span timings",
+                    ["Span", "Count", "Total s", "p50 s", "p95 s"], rows)
+
+    for eng in events_of(events, "engine"):
+        rows = [[key, _fmt(value)] for key, value in sorted(eng.items())
+                if key not in ("event", "ts")]
+        print_table("Tensor engine", ["Counter", "Value"], rows)
+
+    for table in events_of(events, "bench_table"):
+        print_table(table.get("title", table.get("name", "bench")),
+                    table.get("headers", []), table.get("rows", []))
+
+    for end in events_of(events, "run_end"):
+        rows = [[key, _fmt(value)] for key, value in sorted(end.items())
+                if key not in ("event", "ts")]
+        print_table("Run end", ["Field", "Value"], rows)
+    return 0
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "train-graph": _cmd_train_graph,
@@ -302,6 +422,7 @@ _COMMANDS = {
     "spectrum": _cmd_spectrum,
     "flow": _cmd_flow,
     "sweep": _cmd_sweep,
+    "report": _cmd_report,
 }
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from ..core import GradGCLObjective
 from ..graph import Graph, GraphBatch
 from ..nn import Module
+from ..obs import trace
 from ..tensor import Tensor, no_grad
 
 __all__ = ["GraphContrastiveMethod", "NodeContrastiveMethod"]
@@ -39,7 +40,7 @@ class GraphContrastiveMethod(Module):
         """Embed graphs in eval mode with no autograd graph."""
         self.eval()
         chunks = []
-        with no_grad():
+        with trace("embed"), no_grad():
             for start in range(0, len(graphs), batch_size):
                 batch = GraphBatch(list(graphs[start:start + batch_size]))
                 chunks.append(self.graph_embeddings(batch).data)
@@ -86,7 +87,7 @@ class NodeContrastiveMethod(Module):
 
     def embed(self, graph: Graph) -> np.ndarray:
         self.eval()
-        with no_grad():
+        with trace("embed"), no_grad():
             out = self.node_embeddings(graph).data
         self.train()
         return out

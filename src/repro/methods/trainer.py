@@ -1,8 +1,14 @@
-"""Training loops shared by all methods, with history for the figures.
+"""Training loops shared by all methods, with history and run telemetry.
 
 The history records per-epoch loss (and GradGCL's loss_f / loss_g parts),
 wall-clock time (Table VIII), and optional alignment/uniformity probes
-(Fig. 7).
+(Fig. 7).  Passing ``journal=RunJournal(run_dir)`` additionally streams the
+run as structured JSONL events — config, per-epoch losses with pre-clip
+gradient norms and throughput, the collapse spectrum (Figs. 1/5), span
+timings, and tensor-engine counters — in the schema described in
+``docs/observability.md``.  With ``journal=None`` (the default) the loops
+take the exact seed-era fast path: telemetry costs one ``is not None``
+check per batch.
 """
 
 from __future__ import annotations
@@ -14,29 +20,37 @@ import numpy as np
 
 from ..graph import Graph, GraphLoader
 from ..nn import Adam
+from ..obs import RunJournal, Tracer, engine_stats
 from ..utils import Timer
 from .base import GraphContrastiveMethod, NodeContrastiveMethod
 
 __all__ = ["TrainHistory", "train_graph_method", "train_node_method",
-           "clip_gradients"]
+           "clip_gradients", "gradient_norm"]
+
+
+def gradient_norm(parameters) -> float:
+    """Global L2 norm over all materialized parameter gradients."""
+    total = 0.0
+    for p in parameters:
+        if p.grad is not None:
+            total += float((p.grad ** 2).sum())
+    return float(np.sqrt(total))
 
 
 def clip_gradients(parameters, max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm (useful for logging).
+    Returns the pre-clipping norm (the quantity the run journal logs).
     """
     if max_norm <= 0:
         raise ValueError(f"max_norm must be positive, got {max_norm}")
-    total = 0.0
-    grads = [p.grad for p in parameters if p.grad is not None]
-    for grad in grads:
-        total += float((grad ** 2).sum())
-    norm = float(np.sqrt(total))
+    parameters = list(parameters)
+    norm = gradient_norm(parameters)
     if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
-        for grad in grads:
-            grad *= scale
+        for p in parameters:
+            if p.grad is not None:
+                p.grad *= scale
     return norm
 
 
@@ -55,6 +69,7 @@ class TrainHistory:
     parts: list[dict[str, float]] = field(default_factory=list)
     epoch_seconds: list[float] = field(default_factory=list)
     probes: list[dict[str, float]] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -74,6 +89,58 @@ def _mean_parts(parts: list[dict[str, float]]) -> dict[str, float]:
     return {k: float(np.mean([p[k] for p in parts if k in p])) for k in keys}
 
 
+# ----------------------------------------------------------------------
+# Journal emission helpers (shared by both loops)
+# ----------------------------------------------------------------------
+
+def _training_flags() -> dict:
+    """Dtype/fused-kernel state recorded in every run's config event."""
+    from ..tensor import get_default_dtype, use_fused
+
+    return {"dtype": np.dtype(get_default_dtype()).name,
+            "fused_kernels": use_fused()}
+
+
+def _log_config(journal: RunJournal, method, kind: str, **fields) -> None:
+    objective = getattr(method, "objective", None)
+    weight = getattr(objective, "weight", None)
+    journal.log("config", kind=kind, method=type(method).__name__,
+                method_name=getattr(method, "name", type(method).__name__),
+                gradgcl_weight=weight, **_training_flags(), **fields)
+
+
+def _log_epoch(journal: RunJournal, history: TrainHistory, epoch: int,
+               seconds: float, throughput: dict) -> None:
+    record = {"epoch": epoch, "loss": history.losses[-1],
+              "seconds": seconds, **history.parts[-1], **throughput}
+    if history.grad_norms:
+        record["grad_norm"] = history.grad_norms[-1]
+    journal.log("epoch", **record)
+
+
+def _log_spectrum(journal: RunJournal, embeddings: np.ndarray,
+                  epoch: int) -> None:
+    from ..core import effective_rank, num_collapsed_dimensions, \
+        singular_spectrum
+
+    spectrum = singular_spectrum(embeddings)
+    journal.log("spectrum", epoch=epoch,
+                singular_values=[float(s) for s in spectrum],
+                effective_rank=effective_rank(embeddings),
+                collapsed_dims=num_collapsed_dimensions(embeddings, tol=1e-4),
+                embedding_dim=int(embeddings.shape[1]))
+
+
+def _log_run_end(journal: RunJournal, history: TrainHistory, tracer: Tracer,
+                 engine, epochs_run: int) -> None:
+    if tracer.roots:
+        journal.log("trace", spans=tracer.snapshot())
+    journal.log("engine", **engine.snapshot())
+    journal.log("run_end", epochs_run=epochs_run,
+                final_loss=history.final_loss,
+                total_seconds=history.total_seconds)
+
+
 def train_graph_method(method: GraphContrastiveMethod,
                        graphs: Sequence[Graph], *, epochs: int = 20,
                        batch_size: int = 64, lr: float = 1e-3,
@@ -81,7 +148,9 @@ def train_graph_method(method: GraphContrastiveMethod,
                        grad_clip: float | None = None,
                        patience: int | None = None,
                        min_delta: float = 1e-4,
-                       probe: Callable[[GraphContrastiveMethod], dict] | None = None
+                       probe: Callable[[GraphContrastiveMethod], dict] | None = None,
+                       journal: RunJournal | None = None,
+                       spectrum_every: int | None = None
                        ) -> TrainHistory:
     """Train a graph-level method with Adam; return the epoch history.
 
@@ -95,48 +164,86 @@ def train_graph_method(method: GraphContrastiveMethod,
     probe:
         Called after every epoch with the method; its returned dict is
         appended to ``history.probes`` (Fig. 7's trajectories).
+    journal:
+        Optional :class:`repro.obs.RunJournal`; when given, the run streams
+        config/epoch/spectrum/trace/engine/run_end events to it.
+    spectrum_every:
+        With a journal, also emit a collapse-spectrum event every this many
+        epochs (the final spectrum is always emitted).
     """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
+    telemetry = journal is not None
     optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
     loader = GraphLoader(graphs, batch_size=batch_size, shuffle=True,
                          rng=np.random.default_rng(seed))
     history = TrainHistory()
+    if telemetry:
+        _log_config(journal, method, "graph", num_graphs=len(graphs),
+                    epochs=epochs, batch_size=batch_size, lr=lr,
+                    weight_decay=weight_decay, seed=seed,
+                    grad_clip=grad_clip, patience=patience)
+    tracer = Tracer(enabled=telemetry)
     best_loss = np.inf
     stall = 0
+    epochs_run = 0
     method.train()
-    for epoch in range(epochs):
-        epoch_losses: list[float] = []
-        epoch_parts: list[dict[str, float]] = []
-        with Timer() as timer:
-            for batch in loader:
-                if batch.num_graphs < 2:
-                    continue  # contrastive losses need in-batch negatives
-                optimizer.zero_grad()
-                loss = method.training_loss(batch)
-                _check_finite(loss.item(), f"epoch {epoch}")
-                loss.backward()
-                if grad_clip is not None:
-                    clip_gradients(optimizer.params, grad_clip)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-                parts = getattr(method.objective, "last_parts", None)
-                if parts:
-                    epoch_parts.append(dict(parts))
-        history.losses.append(float(np.mean(epoch_losses)))
-        history.parts.append(_mean_parts(epoch_parts))
-        history.epoch_seconds.append(timer.elapsed)
-        method.on_epoch_end(epoch, history.losses[-1])
-        if probe is not None:
-            history.probes.append(probe(method))
-        if patience is not None:
-            if history.losses[-1] < best_loss - min_delta:
-                best_loss = history.losses[-1]
-                stall = 0
-            else:
-                stall += 1
-                if stall >= patience:
-                    break
+    with engine_stats(enabled=telemetry) as engine:
+        for epoch in range(epochs):
+            epoch_losses: list[float] = []
+            epoch_parts: list[dict[str, float]] = []
+            epoch_norms: list[float] = []
+            graphs_seen = 0
+            with tracer.trace("epoch"), Timer() as timer:
+                for batch in loader:
+                    if batch.num_graphs < 2:
+                        continue  # contrastive losses need in-batch negatives
+                    optimizer.zero_grad()
+                    with tracer.trace("forward"):
+                        loss = method.training_loss(batch)
+                    _check_finite(loss.item(), f"epoch {epoch}")
+                    with tracer.trace("backward"):
+                        loss.backward()
+                    if grad_clip is not None:
+                        epoch_norms.append(
+                            clip_gradients(optimizer.params, grad_clip))
+                    elif telemetry:
+                        epoch_norms.append(gradient_norm(optimizer.params))
+                    with tracer.trace("step"):
+                        optimizer.step()
+                    epoch_losses.append(loss.item())
+                    graphs_seen += batch.num_graphs
+                    parts = getattr(method.objective, "last_parts", None)
+                    if parts:
+                        epoch_parts.append(dict(parts))
+            history.losses.append(float(np.mean(epoch_losses)))
+            history.parts.append(_mean_parts(epoch_parts))
+            history.epoch_seconds.append(timer.elapsed)
+            if epoch_norms:
+                history.grad_norms.append(float(np.mean(epoch_norms)))
+            epochs_run = epoch + 1
+            method.on_epoch_end(epoch, history.losses[-1])
+            if probe is not None:
+                history.probes.append(probe(method))
+            if telemetry:
+                per_sec = graphs_seen / max(timer.elapsed, 1e-12)
+                _log_epoch(journal, history, epoch, timer.elapsed,
+                           {"graphs_per_sec": per_sec,
+                            "graphs_seen": graphs_seen})
+                if spectrum_every and (epoch + 1) % spectrum_every == 0 \
+                        and epoch + 1 < epochs:
+                    _log_spectrum(journal, method.embed(graphs), epoch)
+            if patience is not None:
+                if history.losses[-1] < best_loss - min_delta:
+                    best_loss = history.losses[-1]
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= patience:
+                        break
+    if telemetry:
+        _log_spectrum(journal, method.embed(graphs), epochs_run - 1)
+        _log_run_end(journal, history, tracer, engine, epochs_run)
     return history
 
 
@@ -144,28 +251,60 @@ def train_node_method(method: NodeContrastiveMethod, graph: Graph, *,
                       epochs: int = 50, lr: float = 1e-3,
                       weight_decay: float = 0.0,
                       grad_clip: float | None = None,
-                      probe: Callable[[NodeContrastiveMethod], dict] | None = None
+                      probe: Callable[[NodeContrastiveMethod], dict] | None = None,
+                      journal: RunJournal | None = None,
+                      spectrum_every: int | None = None
                       ) -> TrainHistory:
-    """Full-graph training loop for node-level methods."""
+    """Full-graph training loop for node-level methods.
+
+    ``journal`` / ``spectrum_every`` behave as in
+    :func:`train_graph_method`; throughput is reported as nodes/sec since
+    every epoch is one full-graph step.
+    """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
+    telemetry = journal is not None
     optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
     history = TrainHistory()
+    if telemetry:
+        _log_config(journal, method, "node", num_nodes=graph.num_nodes,
+                    epochs=epochs, lr=lr, weight_decay=weight_decay,
+                    grad_clip=grad_clip)
+    tracer = Tracer(enabled=telemetry)
     method.train()
-    for epoch in range(epochs):
-        with Timer() as timer:
-            optimizer.zero_grad()
-            loss = method.training_loss(graph)
-            _check_finite(loss.item(), f"epoch {epoch}")
-            loss.backward()
-            if grad_clip is not None:
-                clip_gradients(optimizer.params, grad_clip)
-            optimizer.step()
-        history.losses.append(loss.item())
-        parts = getattr(method.objective, "last_parts", None)
-        history.parts.append(dict(parts) if parts else {})
-        history.epoch_seconds.append(timer.elapsed)
-        method.on_epoch_end(epoch, history.losses[-1])
-        if probe is not None:
-            history.probes.append(probe(method))
+    with engine_stats(enabled=telemetry) as engine:
+        for epoch in range(epochs):
+            with tracer.trace("epoch"), Timer() as timer:
+                optimizer.zero_grad()
+                with tracer.trace("forward"):
+                    loss = method.training_loss(graph)
+                _check_finite(loss.item(), f"epoch {epoch}")
+                with tracer.trace("backward"):
+                    loss.backward()
+                if grad_clip is not None:
+                    history.grad_norms.append(
+                        clip_gradients(optimizer.params, grad_clip))
+                elif telemetry:
+                    history.grad_norms.append(
+                        gradient_norm(optimizer.params))
+                with tracer.trace("step"):
+                    optimizer.step()
+            history.losses.append(loss.item())
+            parts = getattr(method.objective, "last_parts", None)
+            history.parts.append(dict(parts) if parts else {})
+            history.epoch_seconds.append(timer.elapsed)
+            method.on_epoch_end(epoch, history.losses[-1])
+            if probe is not None:
+                history.probes.append(probe(method))
+            if telemetry:
+                per_sec = graph.num_nodes / max(timer.elapsed, 1e-12)
+                _log_epoch(journal, history, epoch, timer.elapsed,
+                           {"nodes_per_sec": per_sec,
+                            "nodes_seen": graph.num_nodes})
+                if spectrum_every and (epoch + 1) % spectrum_every == 0 \
+                        and epoch + 1 < epochs:
+                    _log_spectrum(journal, method.embed(graph), epoch)
+    if telemetry:
+        _log_spectrum(journal, method.embed(graph), epochs - 1)
+        _log_run_end(journal, history, tracer, engine, epochs)
     return history

@@ -1,0 +1,37 @@
+"""Zero-dependency observability: metrics, tracing, run journals, engine hooks.
+
+The layer has four pieces, all stdlib+numpy only:
+
+* :mod:`repro.obs.metrics` — :class:`MetricRegistry` of counters, gauges,
+  and streaming p50/p95 histograms;
+* :mod:`repro.obs.tracing` — nested wall-clock spans
+  (``with trace("epoch"): ...``) built on :class:`repro.utils.timer.Timer`;
+* :mod:`repro.obs.journal` — :class:`RunJournal`, the structured JSONL
+  event stream every training run and benchmark writes, plus readers and
+  the schema validator CI runs;
+* :mod:`repro.obs.engine_hooks` — op/byte/backward counters the tensor
+  engine reports into when enabled.
+
+Training loops accept ``journal=RunJournal(run_dir)``;
+``repro report <run-dir>`` renders any journal as text tables.
+"""
+
+from .engine_hooks import ENGINE, EngineStats, engine_stats
+from .journal import (
+    EVENT_TYPES,
+    JOURNAL_FILENAME,
+    RunJournal,
+    events_of,
+    read_journal,
+    validate_journal,
+)
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .tracing import Span, Tracer, default_tracer, trace
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricRegistry",
+    "Span", "Tracer", "trace", "default_tracer",
+    "EVENT_TYPES", "JOURNAL_FILENAME", "RunJournal", "read_journal",
+    "validate_journal", "events_of",
+    "ENGINE", "EngineStats", "engine_stats",
+]

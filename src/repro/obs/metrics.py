@@ -1,0 +1,156 @@
+"""Process-local metric instruments: counters, gauges, streaming histograms.
+
+The registry is deliberately tiny and dependency-free: training loops and
+benchmarks record into named instruments, and a :meth:`MetricRegistry.snapshot`
+turns the whole registry into one JSON-ready dict that the
+:class:`repro.obs.journal.RunJournal` can stream as a ``metrics`` event.
+
+Histograms reuse :func:`repro.utils.timer.lap_statistics` so the p50/p95
+convention matches the Table VIII efficiency benchmarks exactly.  To keep
+memory bounded on long runs they hold a fixed-size reservoir: once full,
+incoming samples replace random slots of a deterministically seeded RNG, an
+unbiased streaming sample (Vitter's Algorithm R).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..utils.timer import LapStats, lap_statistics
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (batches seen, graphs processed)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+        return self.value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar (current loss, live parameter count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming sample of observations summarized as count/total/p50/p95.
+
+    Keeps at most ``max_samples`` observations via reservoir sampling so a
+    million-step run costs the same memory as a hundred-step one.  ``count``
+    and ``total`` always reflect *every* observation; only the percentile
+    estimates come from the reservoir.
+    """
+
+    __slots__ = ("name", "max_samples", "count", "total", "_reservoir",
+                 "_rng")
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self._reservoir: list[float] = []
+        # Deterministic per-name seed keeps snapshots reproducible run to run.
+        self._rng = random.Random(hash(name) & 0xFFFFFFFF)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self._reservoir) < self.max_samples:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._reservoir[slot] = value
+
+    def statistics(self) -> LapStats:
+        """Order statistics over the reservoir (see ``lap_statistics``)."""
+        if not self._reservoir:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        stats = lap_statistics(self._reservoir)
+        # Report the true running aggregates, not the reservoir's.
+        return LapStats(count=self.count, total=self.total,
+                        mean=self.total / self.count,
+                        p50=stats.p50, p95=stats.p95)
+
+    def snapshot(self):
+        if not self._reservoir:
+            return {"count": 0, "total": 0.0, "mean": None, "p50": None,
+                    "p95": None}
+        stats = self.statistics()
+        return {"count": stats.count, "total": stats.total,
+                "mean": stats.mean, "p50": stats.p50, "p95": stats.p95}
+
+
+class MetricRegistry:
+    """Named instrument store with one-call JSON-ready snapshots.
+
+    Instruments are created on first access and reused afterwards; asking
+    for an existing name with a different instrument kind is an error (it
+    almost always means two call sites disagree about what the name holds).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        return self._get(name, Histogram, max_samples=max_samples)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """All instruments as ``{name: value-or-stats}`` sorted by name."""
+        return {name: self._instruments[name].snapshot()
+                for name in sorted(self._instruments)}
+
+    def reset(self) -> None:
+        self._instruments.clear()

@@ -1,0 +1,125 @@
+"""Nested tracing spans over :class:`repro.utils.timer.Timer`.
+
+A :class:`Tracer` records a tree of wall-clock spans::
+
+    tracer = Tracer()
+    with tracer.trace("epoch"):
+        with tracer.trace("forward"):
+            ...
+        with tracer.trace("backward"):
+            ...
+
+Each completed span knows its slash-joined path (``"epoch/backward"``), so
+repeated spans aggregate naturally: :meth:`Tracer.statistics` groups the
+recorded durations by path and condenses them with the same
+:func:`repro.utils.timer.lap_statistics` p50/p95 convention the efficiency
+tables use.  Disabled tracers short-circuit to a shared null context manager,
+so instrumented hot loops cost one attribute check per span when telemetry
+is off.
+
+A module-level default tracer backs the free function :func:`trace` for code
+that should be *traceable* without threading a tracer through every call
+(e.g. :meth:`GraphContrastiveMethod.embed`); it starts disabled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from ..utils.timer import LapStats, Timer, lap_statistics
+
+__all__ = ["Span", "Tracer", "trace", "default_tracer"]
+
+_NULL = contextlib.nullcontext()
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) timed region."""
+
+    name: str
+    path: str
+    elapsed: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self):
+        """Yield this span and all descendants depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects a forest of nested spans; cheap no-op when disabled."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._stack: list[tuple[Span, Timer]] = []
+
+    @contextlib.contextmanager
+    def _record(self, name: str):
+        parent_path = self._stack[-1][0].path if self._stack else ""
+        span = Span(name=name,
+                    path=f"{parent_path}/{name}" if parent_path else name)
+        if self._stack:
+            self._stack[-1][0].children.append(span)
+        else:
+            self.roots.append(span)
+        timer = Timer()
+        self._stack.append((span, timer))
+        timer.start()
+        try:
+            yield span
+        finally:
+            span.elapsed = timer.stop()
+            self._stack.pop()
+
+    def trace(self, name: str):
+        """Context manager timing a named span nested under the current one."""
+        if not self.enabled:
+            return _NULL
+        return self._record(name)
+
+    def spans(self):
+        """All completed spans (depth-first over every root)."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def durations(self) -> dict[str, list[float]]:
+        """Per-path lists of elapsed seconds, insertion-ordered."""
+        grouped: dict[str, list[float]] = {}
+        for span in self.spans():
+            grouped.setdefault(span.path, []).append(span.elapsed)
+        return grouped
+
+    def statistics(self) -> dict[str, LapStats]:
+        """Per-path p50/p95 aggregation of the recorded spans."""
+        return {path: lap_statistics(samples)
+                for path, samples in self.durations().items()}
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{path: {count, total, mean, p50, p95}}``."""
+        return {path: {"count": s.count, "total": s.total, "mean": s.mean,
+                       "p50": s.p50, "p95": s.p95}
+                for path, s in self.statistics().items()}
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+
+# Default tracer for call sites that cannot thread a Tracer through their
+# API.  Disabled out of the box: `trace()` then costs one attribute check.
+_DEFAULT = Tracer(enabled=False)
+
+
+def default_tracer() -> Tracer:
+    """The module-level tracer behind :func:`trace`."""
+    return _DEFAULT
+
+
+def trace(name: str):
+    """Record a span on the default tracer (no-op until it is enabled)."""
+    return _DEFAULT.trace(name)

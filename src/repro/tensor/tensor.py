@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs.engine_hooks import ENGINE
 from .dtype import get_default_dtype
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
@@ -192,6 +193,8 @@ class Tensor:
         coercing to the default policy (see module docstring).
         """
         data = np.asarray(data)
+        if ENGINE.enabled:
+            ENGINE.record_op(data.nbytes)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
@@ -270,6 +273,8 @@ class Tensor:
             for parent in node._parents:
                 if id(parent) not in seen:
                     stack.append((parent, False))
+        if ENGINE.enabled:
+            ENGINE.record_backward(len(order))
 
         # Reverse sweep.  ``grads`` maps node id -> accumulated upstream
         # gradient; ``owned`` tracks which buffers this sweep allocated and

@@ -11,6 +11,11 @@ from repro.augment import (
     SubgraphSample,
 )
 from repro.graph import Graph
+import pytest
+
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
 
 
 @st.composite

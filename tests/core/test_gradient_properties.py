@@ -8,6 +8,11 @@ from hypothesis.extra.numpy import arrays
 from repro.core import infonce_gradient_features, jsd_gradient_features
 from repro.losses import info_nce, jsd_loss
 from repro.tensor import Tensor
+import pytest
+
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
 
 finite = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
                    allow_infinity=False, width=64)

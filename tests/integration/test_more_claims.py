@@ -9,6 +9,10 @@ from repro.gnn import GINEncoder
 from repro.methods import GraphCL, JOAO, train_graph_method
 from repro.methods.transfer import finetune_roc_auc
 
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
+
 
 class TestTransferClaim:
     def test_pretraining_helps_in_low_data_regime(self):

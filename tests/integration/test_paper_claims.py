@@ -14,6 +14,10 @@ from repro.methods import SimGRACE, train_graph_method
 from repro.tensor import Tensor
 from repro.core import infonce_gradient_features
 
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def imdb():

@@ -20,6 +20,10 @@ from repro.methods import (
     train_node_method,
 )
 
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
+
 
 class TestGraphClassificationPipeline:
     def test_simgrace_beats_chance(self):

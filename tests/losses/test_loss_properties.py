@@ -14,6 +14,11 @@ from repro.losses import (
     uniformity_loss,
 )
 from repro.tensor import Tensor
+import pytest
+
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
 
 finite = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
                    allow_infinity=False, width=64)

@@ -1,0 +1,151 @@
+"""Journal schema round-trip and validation tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    RunJournal,
+    engine_stats,
+    events_of,
+    read_journal,
+    validate_journal,
+)
+
+
+def _fixed_clock():
+    return 0.0
+
+
+class TestRoundTrip:
+    def test_events_parse_back_in_order(self, tmp_path):
+        with RunJournal(tmp_path, clock=_fixed_clock) as journal:
+            journal.log("config", epochs=2, lr=1e-3)
+            journal.log("epoch", epoch=0, loss=1.5)
+            journal.log("run_end", final_loss=1.5, total_seconds=0.1)
+        events = read_journal(tmp_path)
+        assert [e["event"] for e in events] == ["config", "epoch", "run_end"]
+        assert events[0]["epochs"] == 2
+        assert events[1]["loss"] == 1.5
+
+    def test_fixed_clock_makes_bytes_deterministic(self, tmp_path):
+        paths = []
+        for name in ("a", "b"):
+            run = tmp_path / name
+            with RunJournal(run, clock=_fixed_clock) as journal:
+                journal.log("config", seed=0)
+                journal.log("epoch", epoch=0, loss=0.25)
+            paths.append((run / "events.jsonl").read_bytes())
+        assert paths[0] == paths[1]
+
+    def test_numpy_values_serialize_to_plain_json(self, tmp_path):
+        with RunJournal(tmp_path, clock=_fixed_clock) as journal:
+            journal.log("spectrum", epoch=np.int64(3),
+                        effective_rank=np.float32(4.5),
+                        singular_values=np.array([2.0, 1.0]))
+        (event,) = read_journal(tmp_path)
+        assert event["epoch"] == 3
+        assert event["effective_rank"] == 4.5
+        assert event["singular_values"] == [2.0, 1.0]
+        # The line must be plain JSON, no numpy repr leakage.
+        raw = (tmp_path / "events.jsonl").read_text()
+        json.loads(raw.splitlines()[0])
+
+    def test_append_mode_accumulates(self, tmp_path):
+        with RunJournal(tmp_path, clock=_fixed_clock) as journal:
+            journal.log("note", msg="first")
+        with RunJournal(tmp_path, append=True, clock=_fixed_clock) as journal:
+            journal.log("note", msg="second")
+        assert len(read_journal(tmp_path)) == 2
+
+    def test_truncate_mode_starts_clean(self, tmp_path):
+        with RunJournal(tmp_path, clock=_fixed_clock) as journal:
+            journal.log("note", msg="first")
+        with RunJournal(tmp_path, clock=_fixed_clock) as journal:
+            journal.log("note", msg="second")
+        (event,) = read_journal(tmp_path)
+        assert event["msg"] == "second"
+
+
+class TestValidation:
+    def test_valid_journal_passes(self, tmp_path):
+        with RunJournal(tmp_path, clock=_fixed_clock) as journal:
+            for event in sorted(EVENT_TYPES):
+                journal.log(event)
+        assert len(validate_journal(tmp_path)) == len(EVENT_TYPES)
+
+    def test_unknown_event_rejected_at_write(self, tmp_path):
+        with RunJournal(tmp_path) as journal:
+            with pytest.raises(ValueError, match="unknown event"):
+                journal.log("nonsense")
+
+    def test_unknown_event_rejected_at_read(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text(
+            '{"event": "nonsense", "ts": 0.0}\n')
+        with pytest.raises(ValueError, match="unknown event"):
+            validate_journal(tmp_path)
+
+    def test_garbage_line_rejected_with_line_number(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text(
+            '{"event": "note", "ts": 0.0}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            validate_journal(tmp_path)
+
+    def test_missing_ts_rejected(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text('{"event": "note"}\n')
+        with pytest.raises(ValueError, match="ts"):
+            validate_journal(tmp_path)
+
+    def test_empty_journal_rejected(self, tmp_path):
+        (tmp_path / "events.jsonl").write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            validate_journal(tmp_path)
+
+    def test_write_after_close_raises(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        journal.close()
+        with pytest.raises(RuntimeError):
+            journal.log("note")
+
+
+class TestHelpers:
+    def test_events_of_filters_in_order(self):
+        events = [{"event": "epoch", "epoch": 0},
+                  {"event": "spectrum"},
+                  {"event": "epoch", "epoch": 1}]
+        assert [e["epoch"] for e in events_of(events, "epoch")] == [0, 1]
+
+
+class TestEngineStats:
+    def test_counters_track_ops_and_backward(self):
+        from repro.tensor import Tensor
+
+        with engine_stats() as engine:
+            a = Tensor(np.ones((8, 8)), requires_grad=True)
+            ((a * a).sum()).backward()
+        snap = engine.snapshot()
+        assert snap["ops"] == 2           # mul + sum
+        assert snap["backward_sweeps"] == 1
+        assert snap["backward_nodes"] == 3  # leaf, product, sum
+        assert snap["peak_ndarray_bytes"] == 8 * 8 * 8
+        assert snap["bytes_allocated"] > snap["peak_ndarray_bytes"]
+
+    def test_disabled_region_records_nothing(self):
+        from repro.obs import ENGINE
+        from repro.tensor import Tensor
+
+        before = ENGINE.snapshot()
+        with engine_stats(enabled=False):
+            a = Tensor(np.ones(4), requires_grad=True)
+            (a.sum()).backward()
+        assert ENGINE.snapshot() == before
+
+    def test_enabled_flag_restored_after_region(self):
+        from repro.obs import ENGINE
+
+        assert ENGINE.enabled is False
+        with engine_stats():
+            assert ENGINE.enabled is True
+        assert ENGINE.enabled is False

@@ -1,0 +1,91 @@
+"""Unit tests for the metric registry instruments."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("batches")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("batches").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("loss")
+        g.set(2.5)
+        g.set(1.25)
+        assert g.snapshot() == 1.25
+
+    def test_unset_snapshot_is_none(self):
+        assert Gauge("loss").snapshot() is None
+
+
+class TestHistogram:
+    def test_statistics_match_lap_statistics(self):
+        h = Histogram("epoch_seconds")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        stats = h.statistics()
+        assert stats.count == 4
+        assert stats.total == 10.0
+        assert stats.mean == 2.5
+        assert stats.p50 == 2.5
+
+    def test_reservoir_bounds_memory_but_keeps_aggregates(self):
+        h = Histogram("steps", max_samples=16)
+        for i in range(1000):
+            h.observe(float(i))
+        assert len(h._reservoir) == 16
+        snap = h.snapshot()
+        assert snap["count"] == 1000
+        assert snap["total"] == sum(range(1000))
+        # The reservoir is a sample of the stream, so percentiles stay in
+        # range even though only 16 values are retained.
+        assert 0.0 <= snap["p50"] <= 999.0
+
+    def test_empty_statistics_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("empty").statistics()
+
+    def test_empty_snapshot_is_null(self):
+        assert Histogram("empty").snapshot()["count"] == 0
+
+
+class TestMetricRegistry:
+    def test_instruments_are_reused_by_name(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 2
+
+    def test_kind_mismatch_is_an_error(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(0.5)
+        reg.histogram("c").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"] == 0.5
+        assert snap["b"] == 2
+        assert snap["c"]["count"] == 1
+
+    def test_reset_clears(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        reg.reset()
+        assert "x" not in reg

@@ -1,0 +1,93 @@
+"""Unit tests for nested tracing spans."""
+
+import time
+
+from repro.obs import Tracer, default_tracer, trace
+
+
+class TestSpanNesting:
+    def test_paths_join_with_slash(self):
+        t = Tracer()
+        with t.trace("epoch"):
+            with t.trace("forward"):
+                pass
+            with t.trace("backward"):
+                pass
+        paths = [s.path for s in t.spans()]
+        assert paths == ["epoch", "epoch/forward", "epoch/backward"]
+
+    def test_repeated_spans_aggregate_by_path(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.trace("epoch"):
+                with t.trace("forward"):
+                    pass
+        stats = t.statistics()
+        assert stats["epoch"].count == 3
+        assert stats["epoch/forward"].count == 3
+
+    def test_elapsed_measures_wall_clock(self):
+        t = Tracer()
+        with t.trace("sleep"):
+            time.sleep(0.01)
+        (span,) = t.roots
+        assert span.elapsed >= 0.009
+
+    def test_children_nest_under_parent(self):
+        t = Tracer()
+        with t.trace("a"):
+            with t.trace("b"):
+                with t.trace("c"):
+                    pass
+        (a,) = t.roots
+        assert a.children[0].name == "b"
+        assert a.children[0].children[0].path == "a/b/c"
+
+    def test_exception_still_closes_span(self):
+        t = Tracer()
+        try:
+            with t.trace("epoch"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert t._stack == []
+        assert t.roots[0].elapsed >= 0.0
+
+    def test_snapshot_is_json_ready(self):
+        t = Tracer()
+        with t.trace("epoch"):
+            pass
+        snap = t.snapshot()
+        assert set(snap["epoch"]) == {"count", "total", "mean", "p50", "p95"}
+
+    def test_reset(self):
+        t = Tracer()
+        with t.trace("epoch"):
+            pass
+        t.reset()
+        assert list(t.spans()) == []
+
+
+class TestDisabledTracer:
+    def test_records_nothing(self):
+        t = Tracer(enabled=False)
+        with t.trace("epoch"):
+            pass
+        assert list(t.spans()) == []
+
+    def test_default_tracer_disabled_out_of_the_box(self):
+        assert default_tracer().enabled is False
+        with trace("embed"):
+            pass
+        assert list(default_tracer().spans()) == []
+
+    def test_default_tracer_can_be_enabled(self):
+        tracer = default_tracer()
+        tracer.enabled = True
+        try:
+            with trace("embed"):
+                pass
+            assert [s.path for s in tracer.spans()] == ["embed"]
+        finally:
+            tracer.enabled = False
+            tracer.reset()

@@ -24,6 +24,10 @@ from repro.tensor import (
 
 from ..gradcheck import assert_gradients_match
 
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
+
 RNG = np.random.default_rng(0)
 
 

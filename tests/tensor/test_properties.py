@@ -6,6 +6,11 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.tensor import Tensor, l2_normalize, logsumexp, softmax
+import pytest
+
+# Hypothesis-heavy / end-to-end suite: deselected by CI tier (b)
+# via -m 'not slow'; `make test-all` runs it.
+pytestmark = pytest.mark.slow
 
 finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
                    allow_infinity=False, width=64)
