@@ -5,7 +5,7 @@
 # ROADMAP.md exactly.
 
 .PHONY: install test test-fast test-all ci lint bench bench-small \
-        bench-tensor check-perf examples clean
+        bench-tensor bench-pipeline check-perf examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -39,6 +39,9 @@ bench-small:
 
 bench-tensor:
 	PYTHONPATH=src python -m benchmarks.bench_tensor_ops
+
+bench-pipeline:
+	PYTHONPATH=src python -m benchmarks.bench_pipeline
 
 check-perf:
 	PYTHONPATH=src python scripts/check_perf.py

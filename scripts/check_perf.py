@@ -1,9 +1,21 @@
 #!/usr/bin/env python
 """Perf gate: fresh microbench p50s vs the committed baseline.
 
-Re-runs the tensor-op microbenchmarks from ``benchmarks/bench_tensor_ops.py``
-and compares each fused-path p50 against the numbers committed in
-``BENCH_tensor.json``.  A >20% slowdown prints a warning.
+Two checks, both run by CI tier (d):
+
+* **Tensor microbenches** — re-runs the fused-kernel microbenchmarks from
+  ``benchmarks/bench_tensor_ops.py`` and compares each fused-path p50
+  against the numbers committed in ``BENCH_tensor.json``.  A >20% slowdown
+  prints a warning.
+* **Pipeline acceptance** — static validation of the committed
+  ``BENCH_pipeline.json``: the MVGRL warm structure cache must hold its
+  >=2x epoch speedup over the cold run, the per-graph-stream serial path
+  (``workers=0``) must stay within 15% of the legacy shared-rng baseline,
+  and — only when the recorded ``cpu_count`` is > 1, since parallel
+  speedup is physically impossible on one core — ``workers=4`` must be
+  >=1.3x faster than serial.  Static because the committed JSON records
+  the machine it was measured on; rerunning on a differently-sized box
+  would gate on hardware, not code.
 
 By default the exit code is always 0 — wall-clock on a developer's shared
 box is too noisy for a hard local gate, but the warning makes regressions
@@ -25,26 +37,20 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "BENCH_tensor.json"
+PIPELINE_BASELINE = REPO_ROOT / "BENCH_pipeline.json"
 REGRESSION_THRESHOLD = 0.20
+
+# Acceptance floors for the input-pipeline benchmarks.
+MVGRL_WARM_MIN_SPEEDUP = 2.0
+WORKERS4_MIN_SPEEDUP = 1.3
+SERIAL_MAX_REGRESSION = 1.15
 
 sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero when any bench regresses past "
-                             "the threshold (used by CI)")
-    parser.add_argument("--threshold", type=float,
-                        default=REGRESSION_THRESHOLD,
-                        help="relative slowdown tolerated before flagging "
-                             "(default: %(default)s)")
-    args = parser.parse_args(argv)
-    if not BASELINE.exists():
-        print(f"no baseline at {BASELINE}; run "
-              "`PYTHONPATH=src python -m benchmarks.bench_tensor_ops` first")
-        return 1 if args.strict else 0
+def check_microbenches(threshold: float) -> int:
+    """Fresh fused-kernel p50s vs BENCH_tensor.json; return warning count."""
     baseline = json.loads(BASELINE.read_text())["microbench"]
 
     from benchmarks.bench_tensor_ops import run_microbenches
@@ -58,19 +64,80 @@ def main(argv=None) -> int:
         base_p50 = baseline[name]["fused_p50"]
         ratio = entry["fused_p50"] / max(base_p50, 1e-12)
         status = "ok"
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + threshold:
             status = f"WARNING: {100 * (ratio - 1):.0f}% slower than baseline"
             warnings += 1
         print(f"{name:24s} baseline={base_p50 * 1e3:8.3f}ms "
               f"fresh={entry['fused_p50'] * 1e3:8.3f}ms "
               f"ratio={ratio:.2f}  {status}")
+    return warnings
+
+
+def check_pipeline_baseline() -> int:
+    """Validate BENCH_pipeline.json acceptance floors; return failure count."""
+    payload = json.loads(PIPELINE_BASELINE.read_text())
+    cpu_count = payload.get("cpu_count") or 1
+    failures = 0
+
+    warm = payload["mvgrl"]["warm_cache"]["speedup_vs_cold"]
+    status = "ok" if warm >= MVGRL_WARM_MIN_SPEEDUP else "FAIL"
+    failures += status == "FAIL"
+    print(f"{'mvgrl warm cache':24s} speedup={warm:.2f}x "
+          f"(floor {MVGRL_WARM_MIN_SPEEDUP:.1f}x)  {status}")
+
+    serial = payload["graphcl"]["workers_0"]["median_epoch_seconds"]
+    legacy = payload["graphcl"]["serial_legacy"]["median_epoch_seconds"]
+    ratio = serial / max(legacy, 1e-12)
+    status = "ok" if ratio <= SERIAL_MAX_REGRESSION else "FAIL"
+    failures += status == "FAIL"
+    print(f"{'workers=0 vs legacy':24s} ratio={ratio:.2f} "
+          f"(cap {SERIAL_MAX_REGRESSION:.2f})  {status}")
+
+    par = payload["graphcl"]["workers_4"]["speedup_vs_serial"]
+    if cpu_count > 1:
+        status = "ok" if par >= WORKERS4_MIN_SPEEDUP else "FAIL"
+        failures += status == "FAIL"
+        print(f"{'workers=4 vs serial':24s} speedup={par:.2f}x "
+              f"(floor {WORKERS4_MIN_SPEEDUP:.1f}x)  {status}")
+    else:
+        print(f"{'workers=4 vs serial':24s} speedup={par:.2f}x "
+              f"(skipped: baseline recorded on cpu_count={cpu_count})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when any bench regresses past "
+                             "the threshold (used by CI)")
+    parser.add_argument("--threshold", type=float,
+                        default=REGRESSION_THRESHOLD,
+                        help="relative slowdown tolerated before flagging "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    for path, regen in ((BASELINE, "bench_tensor_ops"),
+                        (PIPELINE_BASELINE, "bench_pipeline")):
+        if not path.exists():
+            print(f"no baseline at {path}; run "
+                  f"`PYTHONPATH=src python -m benchmarks.{regen}` first")
+            return 1 if args.strict else 0
+
+    warnings = check_microbenches(args.threshold)
+    print()
+    failures = check_pipeline_baseline()
+
+    if failures:
+        print(f"\n{failures} pipeline acceptance floor(s) violated in "
+              f"{PIPELINE_BASELINE.name} — regenerate or fix the pipeline")
+        return 1
     if warnings:
         mode = ("failing the build (--strict)" if args.strict
                 else "warn-only; not failing the build")
         print(f"\n{warnings} bench(es) regressed >"
               f"{args.threshold:.0%} — investigate before merging ({mode})")
         return 1 if args.strict else 0
-    print("\nall tensor-op benches within the regression threshold")
+    print("\nall perf gates green: tensor microbenches within threshold, "
+          "pipeline acceptance floors met")
     return 0
 
 

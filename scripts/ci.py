@@ -12,7 +12,9 @@ Tiers run in order and the gate stops at the first failure:
 * **c — telemetry smoke**: a 2-epoch GradGCL-wrapped GraphCL training run
   with ``--run-dir``, then schema validation of the resulting JSONL
   journal (config / epoch with loss_f+loss_g+grad_norm+throughput /
-  spectrum / engine / run_end) and a ``repro report`` render.
+  spectrum / engine / run_end) and a ``repro report`` render; the same
+  smoke then reruns with ``--workers 2`` and the ts-stripped journal
+  streams must match exactly (parallel-determinism contract).
 * **d — perf**: ``scripts/check_perf.py --strict``, the fused-kernel
   microbenchmarks against the committed ``BENCH_tensor.json`` baseline
   (fails on >20% regression).
@@ -108,8 +110,33 @@ def _validate_smoke_journal(run_dir: str) -> int:
     return len(failures)
 
 
+#: Journal canonicalization for the parallel-determinism check: wall-clock
+#: and pipeline-topology fields legitimately differ between a serial and a
+#: multi-worker run; every numeric training output must not.
+_NONDETERMINISTIC_KEYS = {"ts", "seconds", "total_seconds", "graphs_per_sec",
+                          "nodes_per_sec", "workers", "prefetch"}
+_NONDETERMINISTIC_EVENTS = {"trace", "metrics"}
+
+
+def _canonical_events(run_dir: str) -> list[dict]:
+    """Journal events with timing/topology stripped, for run comparison."""
+    sys.path.insert(0, str(SRC))
+    from repro.obs import validate_journal
+
+    return [{k: v for k, v in event.items()
+             if k not in _NONDETERMINISTIC_KEYS}
+            for event in validate_journal(run_dir)
+            if event.get("event") not in _NONDETERMINISTIC_EVENTS]
+
+
 def tier_c_smoke() -> int:
-    """2-epoch telemetry smoke train + journal validation + report render."""
+    """2-epoch telemetry smoke train + journal validation + report render.
+
+    Also reruns the same smoke with ``--workers 2`` and asserts the
+    canonicalized journal streams match — the parallel-determinism
+    contract (identical losses, grad norms, spectra, engine counters)
+    enforced end to end through the CLI.
+    """
     with tempfile.TemporaryDirectory(prefix="repro-ci-smoke-") as tmp:
         run_dir = str(Path(tmp) / "run")
         status = _run([sys.executable, "-m", "repro.cli", *SMOKE_ARGS,
@@ -119,8 +146,30 @@ def tier_c_smoke() -> int:
         status = _validate_smoke_journal(run_dir)
         if status:
             return status
-        return _run([sys.executable, "-m", "repro.cli", "report", run_dir],
-                    stdout=subprocess.DEVNULL)
+        status = _run([sys.executable, "-m", "repro.cli", "report", run_dir],
+                      stdout=subprocess.DEVNULL)
+        if status:
+            return status
+        parallel_dir = str(Path(tmp) / "run-workers2")
+        status = _run([sys.executable, "-m", "repro.cli", *SMOKE_ARGS,
+                       "--workers", "2", "--run-dir", parallel_dir])
+        if status:
+            return status
+        serial = _canonical_events(run_dir)
+        parallel = _canonical_events(parallel_dir)
+        if serial != parallel:
+            diffs = sum(a != b for a, b in zip(serial, parallel))
+            diffs += abs(len(serial) - len(parallel))
+            print(f"  parallel determinism check failed: {diffs} journal "
+                  "event(s) differ between --workers 0 and --workers 2")
+            for a, b in zip(serial, parallel):
+                if a != b:
+                    print(f"    serial:   {a}\n    parallel: {b}")
+                    break
+            return 1
+        print(f"  parallel determinism ok: {len(serial)} canonical events "
+              "identical at --workers 2")
+        return 0
 
 
 def tier_d_perf() -> int:

@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """AST-based repo lint for CI tier (a).
 
-Two rules, both cheap and both aimed at keeping the library embeddable:
+Three rules, all cheap and all aimed at keeping the library embeddable and
+deterministic:
 
 1. **No ``print()`` in the library** — ``src/repro/`` must stay silent so it
    can run inside servers and benchmark harnesses; all terminal output
@@ -9,6 +10,13 @@ Two rules, both cheap and both aimed at keeping the library embeddable:
    (``utils/tables.py``), which are allowlisted.
 2. **No bare ``except:``** anywhere under ``src/`` — swallowing
    ``KeyboardInterrupt``/``SystemExit`` has no place in a training stack.
+3. **No bare ``np.random.<fn>`` calls** anywhere under ``src/`` outside the
+   sanctioned seeding helpers (``utils/seed.py``, ``pipeline/seeding.py``).
+   Global-RNG use (``np.random.default_rng()``, ``np.random.seed``,
+   legacy samplers) silently breaks the worker-determinism contract: the
+   pipeline guarantees bit-identical output at every worker count only
+   because every draw flows through an explicitly seeded, explicitly
+   routed ``Generator``.
 
 Exit status is the number of violations (0 = clean).  Run from the repo
 root::
@@ -27,6 +35,23 @@ LIBRARY = REPO_ROOT / "src" / "repro"
 
 # Modules whose job is terminal rendering; print() is their output channel.
 PRINT_ALLOWED = {LIBRARY / "cli.py", LIBRARY / "utils" / "tables.py"}
+
+# The only library modules allowed to touch ``np.random`` constructors:
+# the seeding helpers everything else is expected to route through.
+NP_RANDOM_ALLOWED = {LIBRARY / "utils" / "seed.py",
+                     LIBRARY / "pipeline" / "seeding.py"}
+
+
+def _is_np_random_call(node: ast.Call) -> bool:
+    """Match ``np.random.<fn>(...)`` / ``numpy.random.<fn>(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    middle = func.value
+    return (isinstance(middle, ast.Attribute)
+            and middle.attr == "random"
+            and isinstance(middle.value, ast.Name)
+            and middle.value.id in ("np", "numpy"))
 
 
 def check_file(path: Path) -> list[str]:
@@ -50,6 +75,13 @@ def check_file(path: Path) -> list[str]:
             problems.append(
                 f"{rel}:{node.lineno}: bare 'except:' — catch a specific "
                 "exception type")
+        if (path not in NP_RANDOM_ALLOWED
+                and isinstance(node, ast.Call)
+                and _is_np_random_call(node)):
+            problems.append(
+                f"{rel}:{node.lineno}: bare np.random.{node.func.attr}() — "
+                "route RNG through repro.utils.seed / repro.pipeline.seeding "
+                "(global-RNG use breaks worker determinism)")
     return problems
 
 

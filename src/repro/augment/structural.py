@@ -18,6 +18,49 @@ def _validate_ratio(ratio: float, name: str) -> None:
         raise ValueError(f"{name} must be in [0, 1), got {ratio}")
 
 
+def _cached_structure(graph, kind: str, build):
+    """Memoize a structural precomputation in the active pipeline cache.
+
+    These derived structures are pure functions of the graph's edges; with
+    no active cache (the seed-era default) they are rebuilt per call.
+    """
+    from ..pipeline.cache import active_structure_cache
+
+    cache = active_structure_cache()
+    if cache is None:
+        return build()
+    return cache.get(graph, kind, (), build)
+
+
+def _edge_keys(graph) -> np.ndarray:
+    """Canonical undirected edge keys ``min * n + max`` for membership tests."""
+    def build():
+        n = graph.num_nodes
+        return graph.edges.min(axis=1) * n + graph.edges.max(axis=1)
+
+    return _cached_structure(graph, "edge_keys", build)
+
+
+def _neighbor_lists(graph) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-style neighbour lists ``(flat_neighbors, starts)``.
+
+    Sorting by (source, edge index) keeps each node's neighbours in
+    edge-list order — the same order the old per-edge append loop produced
+    — so random walks consume RNG draws identically.
+    """
+    def build():
+        n, m = graph.num_nodes, graph.num_edges
+        src = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
+        dst = np.concatenate([graph.edges[:, 1], graph.edges[:, 0]])
+        edge_idx = np.concatenate([np.arange(m), np.arange(m)])
+        order = np.lexsort((edge_idx, src))
+        flat_neighbors = dst[order]
+        starts = np.searchsorted(src[order], np.arange(n + 1))
+        return flat_neighbors, starts
+
+    return _cached_structure(graph, "neighbors", build)
+
+
 class NodeDrop:
     """Remove a random fraction of nodes and keep the induced subgraph.
 
@@ -71,7 +114,7 @@ class EdgePerturb:
             keys = (lo * n + hi)[valid]
             _, first = np.unique(keys, return_index=True)
             keys = keys[np.sort(first)]  # unique, in proposal order
-            existing_keys = graph.edges.min(axis=1) * n + graph.edges.max(axis=1)
+            existing_keys = _edge_keys(graph)
             keys = keys[~np.isin(keys, existing_keys)][:num_changed]
             if len(keys):
                 additions = np.stack([keys // n, keys % n], axis=1)
@@ -93,17 +136,7 @@ class SubgraphSample:
     def __call__(self, graph: Graph, rng: np.random.Generator) -> Graph:
         n = graph.num_nodes
         target = max(1, int(round(n * self.keep_ratio)))
-        # CSR-style neighbour lists.  Sorting by (source, edge index) keeps
-        # each node's neighbours in edge-list order — the same order the old
-        # per-edge append loop produced — so the walk consumes RNG draws
-        # identically and samples the same subgraphs.
-        m = graph.num_edges
-        src = np.concatenate([graph.edges[:, 0], graph.edges[:, 1]])
-        dst = np.concatenate([graph.edges[:, 1], graph.edges[:, 0]])
-        edge_idx = np.concatenate([np.arange(m), np.arange(m)])
-        order = np.lexsort((edge_idx, src))
-        flat_neighbors = dst[order]
-        starts = np.searchsorted(src[order], np.arange(n + 1))
+        flat_neighbors, starts = _neighbor_lists(graph)
         visited = np.zeros(n, dtype=bool)
         start = int(rng.integers(0, n))
         visited[start] = True

@@ -12,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from ..graph import Graph
+from ..utils.seed import seeded_rng
 
 __all__ = ["graphlet_features"]
 
@@ -37,7 +38,7 @@ def _classify_4node(adj: np.ndarray) -> int | None:
 def graphlet_features(graphs: Sequence[Graph], *, samples_per_graph: int = 200,
                       seed: int = 0, normalize: bool = True) -> np.ndarray:
     """Per-graph graphlet profile: [wedges, triangles, 6 x 4-node types]."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     features = np.zeros((len(graphs), 2 + _FOUR_NODE_TYPES))
     for gi, graph in enumerate(graphs):
         n = graph.num_nodes

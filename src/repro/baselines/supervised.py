@@ -9,6 +9,7 @@ from ..gnn import GCNEncoder
 from ..graph import Graph, adjacency_matrix, gcn_normalize
 from ..nn import Adam, Linear
 from ..tensor import Tensor, log_softmax, no_grad
+from ..utils.seed import seeded_rng
 
 __all__ = ["supervised_gcn_accuracy", "raw_graph_features",
            "raw_node_features"]
@@ -19,7 +20,7 @@ def supervised_gcn_accuracy(dataset: NodeDataset, *, hidden_dim: int = 32,
                             weight_decay: float = 5e-4,
                             seed: int = 0) -> float:
     """Train a 2-layer GCN end-to-end on the train mask; test accuracy (%)."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     graph = dataset.graph
     adj = gcn_normalize(adjacency_matrix(graph))
     encoder = GCNEncoder(graph.num_features, hidden_dim, hidden_dim,

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from ..graph import Graph
+from ..utils.seed import seeded_rng
 from .skipgram import biased_walks, random_walks, train_skipgram
 from .wl_kernel import wl_relabel
 
@@ -37,7 +38,7 @@ def node2vec_graph_features(graphs: Sequence[Graph], *, dim: int = 16,
     Each graph gets its own embedding space, so pooled vectors carry only
     weak structural signal — matching node2vec's near-chance Table IV rows.
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     out = np.zeros((len(graphs), 2 * dim))
     for i, graph in enumerate(graphs):
         walks = biased_walks(_neighbor_lists(graph), num_walks=num_walks,
@@ -52,7 +53,7 @@ def deepwalk_node_embeddings(graph: Graph, *, dim: int = 32,
                              num_walks: int = 4, walk_length: int = 12,
                              epochs: int = 2, seed: int = 0) -> np.ndarray:
     """DeepWalk node embeddings for one (large) graph (Table V baseline)."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     walks = random_walks(_neighbor_lists(graph), num_walks=num_walks,
                          walk_length=walk_length, rng=rng)
     return train_skipgram(walks, graph.num_nodes, dim=dim, epochs=epochs,
@@ -63,7 +64,7 @@ def sub2vec_features(graphs: Sequence[Graph], *, dim: int = 16,
                      num_walks: int = 6, walk_length: int = 8,
                      seed: int = 0) -> np.ndarray:
     """sub2vec-style: bag of hashed degree-sequence walk patterns + SVD."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     buckets = 256
     counts = np.zeros((len(graphs), buckets))
     for i, graph in enumerate(graphs):

@@ -36,7 +36,7 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
-import numpy as np
+from repro.utils.seed import seeded_rng
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="path to save the trained encoder (.npz)")
     tg.add_argument("--run-dir", default=None,
                     help="write a JSONL telemetry journal to this directory")
+    tg.add_argument("--workers", type=int, default=None,
+                    help="augmentation worker processes (default: "
+                         "REPRO_WORKERS or 0 = serial); every worker count "
+                         "produces bit-identical results")
+    _add_cache_arguments(tg)
 
     tn = sub.add_parser("train-node",
                         help="train and evaluate a node-level method")
@@ -88,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     tn.add_argument("--seed", type=int, default=0)
     tn.add_argument("--run-dir", default=None,
                     help="write a JSONL telemetry journal to this directory")
+    _add_cache_arguments(tn)
 
     sp = sub.add_parser("spectrum", help="collapse spectrum analysis")
     sp.add_argument("--dataset", default="IMDB-B")
@@ -122,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--spectrum-top", type=int, default=8,
                     help="how many leading singular values to print")
     return parser
+
+
+def _add_cache_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the persistent structure cache "
+                          "(adjacency/diffusion reuse across epochs)")
+    sub.add_argument("--cache-entries", type=int, default=None,
+                     help="structure-cache LRU bound (default: "
+                          "REPRO_CACHE_ENTRIES or 1024)")
+
+
+def _structure_cache(args):
+    """Structure cache per the CLI flags (enabled by default — caching
+    reuses structure across epochs without changing any number)."""
+    if args.no_cache:
+        return None
+    from repro.pipeline import StructureCache
+
+    return StructureCache(max_entries=args.cache_entries)
 
 
 def _open_journal(args):
@@ -193,7 +218,7 @@ def _cmd_train_graph(args) -> int:
 
     dataset = load_tu_dataset(args.dataset, scale=args.scale,
                               seed=args.seed)
-    rng = np.random.default_rng(args.seed)
+    rng = seeded_rng(args.seed)
     method = _graph_method(args.method)(dataset.num_features,
                                         args.hidden_dim, args.layers,
                                         rng=rng)
@@ -203,7 +228,9 @@ def _cmd_train_graph(args) -> int:
     try:
         history = train_graph_method(method, dataset.graphs,
                                      epochs=args.epochs, batch_size=32,
-                                     seed=args.seed, journal=journal)
+                                     seed=args.seed, journal=journal,
+                                     workers=args.workers,
+                                     structure_cache=_structure_cache(args))
         embeddings = method.embed(dataset.graphs)
         acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
                                              seed=args.seed)
@@ -236,7 +263,7 @@ def _cmd_train_node(args) -> int:
 
     dataset = load_node_dataset(args.dataset, scale=args.scale,
                                 seed=args.seed)
-    rng = np.random.default_rng(args.seed)
+    rng = seeded_rng(args.seed)
     if args.method == "MVGRL":
         method = MVGRLNode(dataset.num_features, args.hidden_dim, rng=rng)
     else:
@@ -249,7 +276,8 @@ def _cmd_train_node(args) -> int:
     try:
         history = train_node_method(method, dataset.graph,
                                     epochs=args.epochs, lr=3e-3,
-                                    journal=journal)
+                                    journal=journal,
+                                    structure_cache=_structure_cache(args))
         acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
                                             dataset.labels(),
                                             dataset.train_mask,
@@ -281,7 +309,7 @@ def _cmd_spectrum(args) -> int:
 
     dataset = load_tu_dataset(args.dataset, scale=args.scale,
                               seed=args.seed)
-    rng = np.random.default_rng(args.seed)
+    rng = seeded_rng(args.seed)
     method = SimGRACE(dataset.num_features, 32, 2, rng=rng,
                       perturb_magnitude=0.5)
     if args.weight > 0:
@@ -301,7 +329,7 @@ def _cmd_spectrum(args) -> int:
 def _cmd_flow(args) -> int:
     from repro.core import simulate_gradient_flow
 
-    rng = np.random.default_rng(args.seed)
+    rng = seeded_rng(args.seed)
     x = rng.normal(size=(args.samples, args.dim))
     x_pos = x + 0.1 * rng.normal(size=x.shape)
     result = simulate_gradient_flow(x, x_pos, dim_out=args.dim,
@@ -327,7 +355,7 @@ def _cmd_sweep(args) -> int:
                               seed=args.seed)
     rows = []
     for weight in args.weights:
-        rng = np.random.default_rng(args.seed)
+        rng = seeded_rng(args.seed)
         method = _graph_method(args.method)(dataset.num_features, 16, 2,
                                             rng=rng)
         if weight > 0:

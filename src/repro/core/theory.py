@@ -29,6 +29,7 @@ import numpy as np
 
 from ..losses import info_nce
 from ..tensor import Tensor
+from ..utils.seed import seeded_rng
 from .collapse import effective_rank, matrix_effective_rank
 from .gradient_features import infonce_gradient_features
 
@@ -123,7 +124,7 @@ def simulate_gradient_flow(x: np.ndarray, x_pos: np.ndarray,
     """
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     d_in = x.shape[1]
     weight = Tensor(0.1 * rng.normal(size=(dim_out, d_in)),
                     requires_grad=True)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph import Graph
+from ..utils.seed import seeded_rng
 from .synthetic import sbm_node_graph
 
 __all__ = ["NodeSpec", "NodeDataset", "NODE_SPECS", "load_node_dataset",
@@ -110,7 +111,7 @@ def load_node_dataset(name: str, *, scale: str = "small",
     else:
         raise ValueError(f"unknown scale {scale!r}")
 
-    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
+    rng = seeded_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
     graph = sbm_node_graph(num_nodes, spec.num_classes, feature_dim, rng,
                            p_in=spec.p_in, p_out=spec.p_out,
                            feature_noise=spec.feature_noise)

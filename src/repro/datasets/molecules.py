@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph import Graph
+from ..utils.seed import seeded_rng
 from .synthetic import MOTIFS
 from .tudataset import GraphDataset
 
@@ -104,7 +105,7 @@ def load_pretrain_dataset(name: str = "ZINC-2M", *, scale: str = "small",
         count = small_count // 5
     else:
         raise ValueError(f"unknown scale {scale!r}")
-    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
+    rng = seeded_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
     graphs = [_sample_molecule(avg_nodes, rng, _VOCAB)[0]
               for _ in range(count)]
     return GraphDataset(name, graphs, num_classes=1, category="Pretrain")
@@ -126,7 +127,7 @@ def load_molecule_dataset(name: str, *, scale: str = "small",
     else:
         raise ValueError(f"unknown scale {scale!r}")
 
-    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
+    rng = seeded_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
     graphs = []
     for _ in range(count):
         graph, present = _sample_molecule(spec.avg_nodes, rng, _VOCAB)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph import Graph
+from ..utils.seed import seeded_rng
 from .synthetic import class_prototypes, graph_classification_sample
 
 __all__ = ["TUSpec", "GraphDataset", "TU_SPECS", "load_tu_dataset",
@@ -137,7 +138,7 @@ def load_tu_dataset(name: str, *, scale: str = "small",
     else:
         raise ValueError(f"unknown scale {scale!r}")
 
-    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
+    rng = seeded_rng(seed + zlib.crc32(name.encode()) % (2 ** 16))
     prototypes = class_prototypes(spec.num_classes, spec.feature_dim, rng)
     labels = np.arange(num_graphs) % spec.num_classes  # balanced classes
     rng.shuffle(labels)

@@ -13,7 +13,10 @@ scipy's L-BFGS / plain minibatch SGD:
 from __future__ import annotations
 
 import numpy as np
+
 from scipy import optimize
+
+from ..utils.seed import seeded_rng
 
 __all__ = ["LogisticRegressionClassifier", "LinearSVMClassifier",
            "SGDClassifier", "make_classifier"]
@@ -145,7 +148,7 @@ class SGDClassifier(_LinearModel):
         x = np.asarray(x, dtype=np.float64)
         n, d = x.shape
         k = len(self.classes_)
-        rng = np.random.default_rng(self.seed)
+        rng = seeded_rng(self.seed)
         w = np.zeros((d, k))
         b = np.zeros(k)
         for epoch in range(self.epochs):

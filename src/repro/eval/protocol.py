@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils.seed import seeded_rng
 from .classifiers import make_classifier
 from .metrics import accuracy, mean_std
 
@@ -50,7 +51,7 @@ def evaluate_graph_embeddings(embeddings: np.ndarray, labels: np.ndarray,
     labels = np.asarray(labels)
     run_scores = []
     for repeat in range(repeats):
-        rng = np.random.default_rng(seed + repeat)
+        rng = seeded_rng(seed + repeat)
         fold_list = kfold_indices(len(labels), folds, rng)
         fold_scores = []
         for i, test_idx in enumerate(fold_list):
@@ -86,7 +87,7 @@ def evaluate_node_embeddings(embeddings: np.ndarray, labels: np.ndarray,
     test_idx = np.flatnonzero(test_mask)
     scores = []
     for repeat in range(repeats):
-        rng = np.random.default_rng(seed + repeat)
+        rng = seeded_rng(seed + repeat)
         take = max(2, int(round(len(train_idx) * 0.9)))
         subset = rng.choice(train_idx, size=take, replace=False)
         if len(np.unique(labels[subset])) < 2:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils.seed import seeded_rng
+
 __all__ = ["tsne"]
 
 
@@ -59,7 +61,7 @@ def tsne(x: np.ndarray, *, dim: int = 2, perplexity: float = 30.0,
     p = (p_cond + p_cond.T) / (2.0 * n)
     p = np.maximum(p, 1e-12)
 
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     y = 1e-4 * rng.normal(size=(n, dim))
     velocity = np.zeros_like(y)
     exaggeration = 4.0

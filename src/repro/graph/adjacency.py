@@ -9,7 +9,11 @@ from ..tensor.dtype import get_default_dtype
 from .graph import Graph
 
 __all__ = ["adjacency_matrix", "gcn_normalize", "row_normalize",
-           "add_self_loops"]
+           "add_self_loops", "normalized_adjacency", "NORMALIZATIONS"]
+
+#: Normalization names accepted by :func:`normalized_adjacency` and
+#: :meth:`repro.graph.batch.GraphBatch.adjacency`.
+NORMALIZATIONS = ("none", "gcn", "self_loops", "row")
 
 
 def adjacency_matrix(graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
@@ -48,3 +52,23 @@ def row_normalize(adj: sp.spmatrix) -> sp.csr_matrix:
     degrees = np.asarray(adj.sum(axis=1)).ravel()
     inv = np.where(degrees > 0, 1.0 / degrees, 0.0)
     return (sp.diags(inv) @ adj).tocsr()
+
+
+def normalized_adjacency(graph: Graph,
+                         normalization: str = "none") -> sp.csr_matrix:
+    """One-stop adjacency construction under a named normalization.
+
+    This is the single dispatch point shared by :class:`GraphBatch` and the
+    pipeline structure cache, so the name → operator mapping can never drift
+    between the cached and uncached paths.
+    """
+    if normalization not in NORMALIZATIONS:
+        raise ValueError(f"unknown normalization: {normalization!r}")
+    raw = adjacency_matrix(graph)
+    if normalization == "none":
+        return raw
+    if normalization == "self_loops":
+        return add_self_loops(raw)
+    if normalization == "row":
+        return row_normalize(raw)
+    return gcn_normalize(raw)

@@ -13,7 +13,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from .adjacency import adjacency_matrix, gcn_normalize
+from .adjacency import NORMALIZATIONS, normalized_adjacency
 from .graph import Graph
 
 __all__ = ["GraphBatch"]
@@ -23,7 +23,9 @@ class GraphBatch:
     """A batch of graphs merged into one disconnected graph."""
 
     def __init__(self, graphs: Sequence[Graph]):
-        if not graphs:
+        # len() rather than truthiness: ``graphs`` may be an object ndarray
+        # (fancy-indexed by the loader), whose bool() is ambiguous.
+        if len(graphs) == 0:
             raise ValueError("cannot batch an empty list of graphs")
         self.graphs = list(graphs)
         self.num_graphs = len(graphs)
@@ -52,19 +54,30 @@ class GraphBatch:
         """Return the (cached) block-diagonal adjacency.
 
         ``normalization`` is one of ``"none"`` (raw symmetric A), ``"gcn"``
-        (``D^-1/2 (A+I) D^-1/2``), or ``"self_loops"`` (``A + I``).
+        (``D^-1/2 (A+I) D^-1/2``), ``"self_loops"`` (``A + I``), or
+        ``"row"`` (``D^-1 A``).
+
+        When a :class:`repro.pipeline.StructureCache` is active, the batch
+        matrix is assembled as ``block_diag`` of per-graph cached matrices.
+        Every supported normalization is block-local (degrees never cross
+        graph boundaries in a disconnected batch), so the assembled matrix
+        is entrywise identical to normalizing the whole batch at once —
+        while per-graph pieces persist across epochs and batch compositions.
         """
-        if normalization not in ("none", "gcn", "self_loops"):
+        if normalization not in NORMALIZATIONS:
             raise ValueError(f"unknown normalization: {normalization!r}")
         if normalization not in self._adj_cache:
-            raw = adjacency_matrix(self._as_graph())
-            if normalization == "none":
-                self._adj_cache[normalization] = raw
-            elif normalization == "self_loops":
-                from .adjacency import add_self_loops
-                self._adj_cache[normalization] = add_self_loops(raw)
+            from ..pipeline.cache import active_structure_cache
+
+            cache = active_structure_cache()
+            if cache is not None:
+                blocks = [cache.adjacency(g, normalization)
+                          for g in self.graphs]
+                assembled = sp.block_diag(blocks, format="csr")
             else:
-                self._adj_cache[normalization] = gcn_normalize(raw)
+                assembled = normalized_adjacency(self._as_graph(),
+                                                 normalization)
+            self._adj_cache[normalization] = assembled
         return self._adj_cache[normalization]
 
     def graph_sizes(self) -> np.ndarray:

@@ -22,12 +22,19 @@ def ppr_diffusion(graph: Graph, alpha: float = 0.2) -> np.ndarray:
     ``A_sym`` is the GCN-normalized adjacency, so the result is a dense
     row-stochastic-ish diffusion matrix; MVGRL uses it as a second structural
     view of the same graph.
+
+    Computed as the linear solve ``(I - (1-a) A_sym) X = a I`` — one LU
+    factorization instead of the explicit inverse, with the adjacency kept
+    sparse until the solve's dense system is formed.
     """
     if not 0.0 < alpha < 1.0:
         raise ValueError(f"alpha must be in (0, 1), got {alpha}")
-    adj = gcn_normalize(adjacency_matrix(graph)).toarray()
+    adj = gcn_normalize(adjacency_matrix(graph))
     n = graph.num_nodes
-    return alpha * np.linalg.inv(np.eye(n) - (1.0 - alpha) * adj)
+    system = (sp.identity(n, dtype=adj.dtype, format="csr")
+              - (1.0 - alpha) * adj)
+    rhs = alpha * np.eye(n, dtype=adj.dtype)
+    return np.linalg.solve(system.toarray(), rhs)
 
 
 def heat_diffusion(graph: Graph, t: float = 5.0,

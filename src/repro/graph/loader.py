@@ -6,6 +6,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..utils.seed import seeded_rng
 from .batch import GraphBatch
 from .graph import Graph
 
@@ -13,25 +14,45 @@ __all__ = ["GraphLoader"]
 
 
 class GraphLoader:
-    """Yield :class:`GraphBatch` minibatches, optionally shuffled per epoch."""
+    """Yield :class:`GraphBatch` minibatches, optionally shuffled per epoch.
+
+    Graphs are held in an object ndarray so each batch is a single fancy
+    index into the shuffled order instead of a per-batch Python list
+    rebuild.  ``seed=`` derives the shuffle generator through
+    :func:`repro.utils.seed.seeded_rng` (mutually exclusive with passing an
+    explicit ``rng=``); ``drop_last=`` discards a trailing partial batch so
+    every yielded batch has exactly ``batch_size`` graphs.
+    """
 
     def __init__(self, graphs: Sequence[Graph], batch_size: int,
                  shuffle: bool = True,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 seed: int | None = None,
+                 drop_last: bool = False):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self.graphs = list(graphs)
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng= or seed=, not both")
+        self.graphs = np.empty(len(graphs), dtype=object)
+        self.graphs[:] = list(graphs)
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self.drop_last = drop_last
+        if rng is None:
+            rng = seeded_rng(seed)
+        self._rng = rng
 
     def __len__(self) -> int:
+        if self.drop_last:
+            return len(self.graphs) // self.batch_size
         return (len(self.graphs) + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[GraphBatch]:
         order = np.arange(len(self.graphs))
         if self.shuffle:
             self._rng.shuffle(order)
-        for start in range(0, len(order), self.batch_size):
-            chunk = order[start:start + self.batch_size]
-            yield GraphBatch([self.graphs[i] for i in chunk])
+        stop = len(order)
+        if self.drop_last:
+            stop = (stop // self.batch_size) * self.batch_size
+        for start in range(0, stop, self.batch_size):
+            yield GraphBatch(self.graphs[order[start:start + self.batch_size]])

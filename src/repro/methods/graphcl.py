@@ -21,6 +21,7 @@ from ..augment import (
 from ..core import ContrastiveObjective, InfoNCEObjective
 from ..gnn import GINEncoder, ProjectionHead
 from ..graph import GraphBatch
+from ..pipeline import ViewGenerator, spawn_root
 from ..tensor import Tensor
 from .base import GraphContrastiveMethod
 
@@ -70,13 +71,30 @@ class GraphCL(GraphContrastiveMethod):
         self.augmentation2 = (augmentation2 if augmentation2 is not None
                               else self.augmentation)
         self._rng = rng
+        # Per-graph deterministic view streams (repro.pipeline): bit-identical
+        # output at every worker count.  The root consumes one draw from
+        # ``rng`` *after* all weight init, so parameters stay byte-identical
+        # to the pre-pipeline era.
+        self.view_generator = ViewGenerator(self.augmentation,
+                                            self.augmentation2,
+                                            root=spawn_root(rng))
 
     def _augmented_views(self, batch: GraphBatch) -> tuple[GraphBatch, GraphBatch]:
-        view1 = GraphBatch([self.augmentation(g, self._rng)
-                            for g in batch.graphs])
-        view2 = GraphBatch([self.augmentation2(g, self._rng)
-                            for g in batch.graphs])
-        return view1, view2
+        generator = self.view_generator
+        if generator is None:
+            # Legacy shared-generator path: draws depend on iteration order,
+            # so it cannot parallelize; kept for methods that opt out (RGCL)
+            # and as the benchmark's pre-pipeline baseline.
+            view1 = GraphBatch([self.augmentation(g, self._rng)
+                                for g in batch.graphs])
+            view2 = GraphBatch([self.augmentation2(g, self._rng)
+                                for g in batch.graphs])
+            return view1, view2
+        pair = batch.__dict__.pop("_precomputed_views", None)
+        if pair is None:
+            pair = generator.generate(batch)
+        pair.apply_choices(self.augmentation, self.augmentation2)
+        return pair.view1, pair.view2
 
     def project_views(self, batch: GraphBatch) -> tuple[Tensor, Tensor]:
         """Projected graph embeddings of two fresh augmented views."""

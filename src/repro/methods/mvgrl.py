@@ -24,16 +24,27 @@ from ..gnn import GCNConv, ProjectionHead, readout
 from ..graph import Graph, GraphBatch, adjacency_matrix, gcn_normalize, ppr_diffusion
 from ..losses import info_nce, jsd_bipartite_loss
 from ..nn import ModuleList, PReLU
+from ..pipeline import active_structure_cache
 from ..tensor import Tensor, concat
+from ..utils.seed import seeded_rng
 from .base import GraphContrastiveMethod, NodeContrastiveMethod
 
 __all__ = ["MVGRL", "MVGRLNode"]
 
 
 def _batch_diffusion(batch: GraphBatch, alpha: float) -> sp.csr_matrix:
-    """Block-diagonal PPR diffusion over a batch of graphs."""
-    blocks = [sp.csr_matrix(ppr_diffusion(g, alpha=alpha))
-              for g in batch.graphs]
+    """Block-diagonal PPR diffusion over a batch of graphs.
+
+    The dense per-graph PPR solve dominates MVGRL's epoch time; with an
+    active :class:`repro.pipeline.StructureCache` each graph's diffusion is
+    solved once and reused across batches and epochs.
+    """
+    cache = active_structure_cache()
+    if cache is not None:
+        blocks = [cache.ppr(g, alpha=alpha) for g in batch.graphs]
+    else:
+        blocks = [sp.csr_matrix(ppr_diffusion(g, alpha=alpha))
+                  for g in batch.graphs]
     return sp.block_diag(blocks, format="csr")
 
 
@@ -129,6 +140,10 @@ class MVGRLNode(NodeContrastiveMethod):
         self._cache: dict[int, tuple] = {}
 
     def _operators(self, graph: Graph):
+        cache = active_structure_cache()
+        if cache is not None:
+            return (cache.adjacency(graph, "gcn"),
+                    cache.ppr(graph, alpha=self.alpha))
         key = id(graph)
         if key not in self._cache:
             adj = gcn_normalize(adjacency_matrix(graph))
@@ -152,7 +167,7 @@ class MVGRLNode(NodeContrastiveMethod):
         # Corruption: shuffled features as negatives (DGI-style), realised by
         # contrasting true nodes against the summary of the other view while
         # shuffled nodes provide the negative scores.
-        perm = np.random.default_rng(n).permutation(n)
+        perm = seeded_rng(n).permutation(n)
         corrupt_adj = node_adj[perm]
         corrupt_diff = node_diff[perm]
 

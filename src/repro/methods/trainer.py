@@ -13,6 +13,7 @@ check per batch.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -21,7 +22,14 @@ import numpy as np
 from ..graph import Graph, GraphLoader
 from ..nn import Adam
 from ..obs import RunJournal, Tracer, engine_stats
+from ..pipeline import (
+    PrefetchLoader,
+    StructureCache,
+    resolve_workers,
+    use_structure_cache,
+)
 from ..utils import Timer
+from ..utils.seed import seeded_rng
 from .base import GraphContrastiveMethod, NodeContrastiveMethod
 
 __all__ = ["TrainHistory", "train_graph_method", "train_node_method",
@@ -132,13 +140,37 @@ def _log_spectrum(journal: RunJournal, embeddings: np.ndarray,
 
 
 def _log_run_end(journal: RunJournal, history: TrainHistory, tracer: Tracer,
-                 engine, epochs_run: int) -> None:
+                 engine, epochs_run: int,
+                 cache: StructureCache | None = None) -> None:
     if tracer.roots:
         journal.log("trace", spans=tracer.snapshot())
+    if cache is not None:
+        journal.log("metrics", **cache.stats())
     journal.log("engine", **engine.snapshot())
     journal.log("run_end", epochs_run=epochs_run,
                 final_loss=history.final_loss,
                 total_seconds=history.total_seconds)
+
+
+def _resolve_pipeline(method, workers, prefetch, structure_cache):
+    """Normalize the pipeline knobs shared by both training loops.
+
+    ``workers=None`` defers to ``REPRO_WORKERS`` (default 0 = the serial
+    seed-era path); ``structure_cache=True`` builds a default-sized
+    :class:`StructureCache`; ``prefetch=None`` auto-enables double
+    buffering exactly when a worker pool exists to overlap with.
+    """
+    workers = resolve_workers(workers)
+    if structure_cache is True:
+        structure_cache = StructureCache()
+    elif structure_cache is False:
+        structure_cache = None
+    method.configure_pipeline(workers=workers, cache=structure_cache)
+    has_generator = getattr(method, "view_generator", None) is not None
+    if prefetch is None:
+        prefetch = workers > 0 and has_generator
+    prefetch = bool(prefetch) and has_generator
+    return workers, prefetch, structure_cache
 
 
 def train_graph_method(method: GraphContrastiveMethod,
@@ -150,7 +182,10 @@ def train_graph_method(method: GraphContrastiveMethod,
                        min_delta: float = 1e-4,
                        probe: Callable[[GraphContrastiveMethod], dict] | None = None,
                        journal: RunJournal | None = None,
-                       spectrum_every: int | None = None
+                       spectrum_every: int | None = None,
+                       workers: int | None = None,
+                       prefetch: bool | None = None,
+                       structure_cache: StructureCache | bool | None = None
                        ) -> TrainHistory:
     """Train a graph-level method with Adam; return the epoch history.
 
@@ -170,32 +205,53 @@ def train_graph_method(method: GraphContrastiveMethod,
     spectrum_every:
         With a journal, also emit a collapse-spectrum event every this many
         epochs (the final spectrum is always emitted).
+    workers:
+        Augmentation worker processes (``None`` defers to ``REPRO_WORKERS``,
+        default 0 = serial).  Results are bit-identical at every count.
+    prefetch:
+        Double-buffer the next batch's views during the optimizer step;
+        ``None`` auto-enables it exactly when ``workers > 0``.
+    structure_cache:
+        ``True`` or a :class:`repro.pipeline.StructureCache` to reuse
+        adjacency/diffusion structure across batches and epochs (never
+        changes numbers); ``None``/``False`` disables caching.
     """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
     telemetry = journal is not None
     optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
     loader = GraphLoader(graphs, batch_size=batch_size, shuffle=True,
-                         rng=np.random.default_rng(seed))
+                         rng=seeded_rng(seed))
+    workers, prefetch, structure_cache = _resolve_pipeline(
+        method, workers, prefetch, structure_cache)
     history = TrainHistory()
     if telemetry:
         _log_config(journal, method, "graph", num_graphs=len(graphs),
                     epochs=epochs, batch_size=batch_size, lr=lr,
                     weight_decay=weight_decay, seed=seed,
-                    grad_clip=grad_clip, patience=patience)
+                    grad_clip=grad_clip, patience=patience,
+                    workers=workers, prefetch=prefetch,
+                    structure_cache=structure_cache is not None)
     tracer = Tracer(enabled=telemetry)
     best_loss = np.inf
     stall = 0
     epochs_run = 0
     method.train()
-    with engine_stats(enabled=telemetry) as engine:
+    batch_source = (PrefetchLoader(loader, method.view_generator)
+                    if prefetch else loader)
+    with contextlib.ExitStack() as stack:
+        # Pool shutdown must run even on a mid-epoch exception; the active
+        # structure cache covers training *and* the final embed/spectrum.
+        stack.callback(method.shutdown_pipeline)
+        stack.enter_context(use_structure_cache(structure_cache))
+        engine = stack.enter_context(engine_stats(enabled=telemetry))
         for epoch in range(epochs):
             epoch_losses: list[float] = []
             epoch_parts: list[dict[str, float]] = []
             epoch_norms: list[float] = []
             graphs_seen = 0
             with tracer.trace("epoch"), Timer() as timer:
-                for batch in loader:
+                for batch in batch_source:
                     if batch.num_graphs < 2:
                         continue  # contrastive losses need in-batch negatives
                     optimizer.zero_grad()
@@ -241,9 +297,11 @@ def train_graph_method(method: GraphContrastiveMethod,
                     stall += 1
                     if stall >= patience:
                         break
+        if telemetry:
+            _log_spectrum(journal, method.embed(graphs), epochs_run - 1)
     if telemetry:
-        _log_spectrum(journal, method.embed(graphs), epochs_run - 1)
-        _log_run_end(journal, history, tracer, engine, epochs_run)
+        _log_run_end(journal, history, tracer, engine, epochs_run,
+                     structure_cache)
     return history
 
 
@@ -253,26 +311,33 @@ def train_node_method(method: NodeContrastiveMethod, graph: Graph, *,
                       grad_clip: float | None = None,
                       probe: Callable[[NodeContrastiveMethod], dict] | None = None,
                       journal: RunJournal | None = None,
-                      spectrum_every: int | None = None
+                      spectrum_every: int | None = None,
+                      structure_cache: StructureCache | bool | None = None
                       ) -> TrainHistory:
     """Full-graph training loop for node-level methods.
 
     ``journal`` / ``spectrum_every`` behave as in
     :func:`train_graph_method`; throughput is reported as nodes/sec since
-    every epoch is one full-graph step.
+    every epoch is one full-graph step.  ``structure_cache`` behaves as in
+    :func:`train_graph_method` (there is no per-graph view fan-out to
+    parallelize in a full-graph loop, so no ``workers`` knob here).
     """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
     telemetry = journal is not None
     optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
+    _, _, structure_cache = _resolve_pipeline(method, 0, False,
+                                              structure_cache)
     history = TrainHistory()
     if telemetry:
         _log_config(journal, method, "node", num_nodes=graph.num_nodes,
                     epochs=epochs, lr=lr, weight_decay=weight_decay,
-                    grad_clip=grad_clip)
+                    grad_clip=grad_clip,
+                    structure_cache=structure_cache is not None)
     tracer = Tracer(enabled=telemetry)
     method.train()
-    with engine_stats(enabled=telemetry) as engine:
+    with use_structure_cache(structure_cache), \
+            engine_stats(enabled=telemetry) as engine:
         for epoch in range(epochs):
             with tracer.trace("epoch"), Timer() as timer:
                 optimizer.zero_grad()
@@ -305,6 +370,8 @@ def train_node_method(method: NodeContrastiveMethod, graph: Graph, *,
                         and epoch + 1 < epochs:
                     _log_spectrum(journal, method.embed(graph), epoch)
     if telemetry:
-        _log_spectrum(journal, method.embed(graph), epochs - 1)
-        _log_run_end(journal, history, tracer, engine, epochs)
+        with use_structure_cache(structure_cache):
+            _log_spectrum(journal, method.embed(graph), epochs - 1)
+        _log_run_end(journal, history, tracer, engine, epochs,
+                     structure_cache)
     return history

@@ -18,6 +18,7 @@ from ..gnn import GINEncoder
 from ..graph import Graph, GraphBatch, GraphLoader
 from ..nn import Adam, Linear
 from ..tensor import log_softmax, no_grad
+from ..utils.seed import seeded_rng
 from .base import GraphContrastiveMethod
 from .trainer import train_graph_method
 
@@ -44,7 +45,7 @@ def finetune_roc_auc(encoder: GINEncoder, dataset: GraphDataset, *,
     """
     if dataset.num_classes != 2:
         raise ValueError("transfer evaluation expects binary datasets")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     train_graphs, test_graphs = _split(dataset, test_fraction, rng)
     model = encoder.clone()
     head = Linear(model.out_features, 2, rng=rng)

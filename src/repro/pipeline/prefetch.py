@@ -1,0 +1,68 @@
+"""Double-buffered view prefetching over a :class:`GraphLoader`.
+
+While the optimizer steps on batch ``i``, batch ``i+1``'s augmented views
+are already being generated (in pool workers when ``workers > 0``).  The
+wrapper submits one batch ahead, attaches the finished
+:class:`~repro.pipeline.workers.ViewPair` to the batch as
+``_precomputed_views``, and yields batches in loader order — so the
+training loop is unchanged and determinism is untouched (stream counters
+advance in submission order, which equals loader order).
+
+Batches below ``min_graphs`` are skipped *without* submitting, mirroring
+the trainer's own skip of sub-contrastive batches; this keeps the batch
+counter sequence identical between prefetched and plain iteration.
+
+Teardown: if the consumer abandons iteration mid-epoch (an exception in
+the training loop), the generator's ``finally`` block drains the in-flight
+submission so no orphaned pool task outlives the epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..graph.batch import GraphBatch
+from .workers import ViewGenerator
+
+__all__ = ["PrefetchLoader"]
+
+
+class PrefetchLoader:
+    """Iterate a loader one submitted batch ahead of consumption."""
+
+    def __init__(self, loader, generator: ViewGenerator,
+                 min_graphs: int = 2):
+        self.loader = loader
+        self.generator = generator
+        self.min_graphs = min_graphs
+
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def __iter__(self) -> Iterator[GraphBatch]:
+        pending = None
+        try:
+            for batch in self.loader:
+                if batch.num_graphs < self.min_graphs:
+                    continue
+                handle = self.generator.submit(batch)
+                held = pending
+                # Record the in-flight pair *before* yielding: if the
+                # consumer raises at the yield point, the finally block
+                # below still sees (and drains) the newest submission.
+                pending = (batch, handle)
+                if held is not None:
+                    held_batch, held_handle = held
+                    held_batch._precomputed_views = held_handle.result()
+                    yield held_batch
+            if pending is not None:
+                held_batch, held_handle = pending
+                held_batch._precomputed_views = held_handle.result()
+                pending = None
+                yield held_batch
+        finally:
+            if pending is not None:
+                try:
+                    pending[1].result()
+                except Exception:
+                    pass

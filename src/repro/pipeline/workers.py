@@ -1,0 +1,237 @@
+"""Multiprocessing augmentation workers with deterministic view streams.
+
+:class:`ViewGenerator` owns view generation for GraphCL-family methods.
+Each ``(batch, view, graph)`` gets its own PCG64 stream (see
+:mod:`repro.pipeline.seeding`), so the augmented views are **bit-identical
+at every worker count**: ``workers=0`` runs the exact serial in-process
+path, ``workers=N`` fans per-graph work across a fork-based
+``multiprocessing.Pool`` in chunks, and both consume the same streams.
+
+The augmentation objects are pickled into every task, so parent-side
+mutation (JOAO re-weighting its ``RandomChoice`` distribution between
+epochs) is always visible to workers — there is no stale forked copy.
+``RandomChoice.last_choice`` cannot be observed across a process boundary,
+so each task also reports the last choice it made; :class:`ViewPair`
+carries the per-view choices and re-applies them on the parent's
+augmentation objects at *consumption* time (``apply_choices``), which keeps
+JOAO's post-loss read of ``last_choice`` identical to the serial order even
+when prefetching has already generated the next batch's views.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+
+from ..graph.batch import GraphBatch
+from .seeding import stream_from_key, view_stream_keys
+
+__all__ = ["ViewGenerator", "ViewPair", "resolve_workers"]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker count: explicit value, else ``REPRO_WORKERS``, else 0 (serial)."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0"))
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _apply_chunk(augmentation, graphs, keys):
+    """Augment one chunk of graphs, each under its own stream.
+
+    Runs identically in the parent (serial path) and in pool workers.
+    Returns the views plus the last ``RandomChoice.last_choice`` observed,
+    which for the final chunk of a view is the batch's last choice — the
+    value the serial loop would have left behind.
+    """
+    views = [augmentation(graph, stream_from_key(key))
+             for graph, key in zip(graphs, keys)]
+    return views, getattr(augmentation, "last_choice", None)
+
+
+def _worker_init(cache_entries: int | None) -> None:
+    """Install a per-process structure cache inside each pool worker.
+
+    Worker-side caching only accelerates structure reuse (e.g. subgraph
+    neighbour lists); it never changes what the augmentations produce.
+    """
+    if cache_entries is None:
+        return
+    from . import cache as cache_mod
+
+    cache_mod._ACTIVE = cache_mod.StructureCache(max_entries=cache_entries)
+
+
+class ViewPair:
+    """Two augmented views of one batch plus their ``RandomChoice`` picks."""
+
+    __slots__ = ("view1", "view2", "choice1", "choice2")
+
+    def __init__(self, view1: GraphBatch, view2: GraphBatch,
+                 choice1: int | None, choice2: int | None):
+        self.view1 = view1
+        self.view2 = view2
+        self.choice1 = choice1
+        self.choice2 = choice2
+
+    def apply_choices(self, augmentation, augmentation2) -> None:
+        """Replay the recorded picks onto the parent augmentation objects.
+
+        Applied view1-then-view2 so that when both views share one pool
+        object (GraphCL's default) the surviving ``last_choice`` is view2's
+        — exactly what the serial generation order left behind.
+        """
+        if self.choice1 is not None:
+            augmentation.last_choice = self.choice1
+        if self.choice2 is not None:
+            augmentation2.last_choice = self.choice2
+
+
+class _ReadyViews:
+    """Already-materialized result (serial path / degraded pool)."""
+
+    __slots__ = ("_pair",)
+
+    def __init__(self, pair: ViewPair):
+        self._pair = pair
+
+    def result(self) -> ViewPair:
+        return self._pair
+
+
+class _PendingViews:
+    """In-flight pool computation; ``result()`` blocks and assembles."""
+
+    __slots__ = ("_handle", "_view1_chunks")
+
+    def __init__(self, handle, view1_chunks: int):
+        self._handle = handle
+        self._view1_chunks = view1_chunks
+
+    def result(self) -> ViewPair:
+        outs = self._handle.get()
+        split = self._view1_chunks
+        views1 = [v for chunk, _ in outs[:split] for v in chunk]
+        views2 = [v for chunk, _ in outs[split:] for v in chunk]
+        return ViewPair(GraphBatch(views1), GraphBatch(views2),
+                        outs[split - 1][1], outs[-1][1])
+
+
+class ViewGenerator:
+    """Deterministic (optionally parallel) two-view generator for a batch.
+
+    Parameters
+    ----------
+    augmentation / augmentation2:
+        The per-view augmentation pools; ``augmentation2=None`` shares the
+        first (GraphCL's default).
+    root:
+        Pipeline root seed, normally ``seeding.spawn_root(method_rng)``.
+    workers:
+        ``0`` = serial in-process generation (the default path);
+        ``N > 0`` = fork-based pool of ``N`` processes.  ``None`` defers to
+        ``REPRO_WORKERS``.
+    chunk_size:
+        Graphs per pool task; large enough to amortize pickling, small
+        enough to load-balance a 64-graph batch across workers.
+    """
+
+    def __init__(self, augmentation, augmentation2=None, *, root: int,
+                 workers: int | None = None, chunk_size: int = 8):
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.augmentation = augmentation
+        self.augmentation2 = (augmentation2 if augmentation2 is not None
+                              else augmentation)
+        self.root = int(root)
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.counter = 0
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def configure(self, workers: int | None = None) -> None:
+        """Change the worker count, recycling the pool if it changes."""
+        workers = resolve_workers(workers)
+        if workers != self.workers:
+            self.shutdown()
+            self.workers = workers
+
+    def _ensure_pool(self):
+        if self._pool is None and self.workers > 0:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                # No fork on this platform: degrade to the serial path,
+                # which produces identical views anyway.
+                self.workers = 0
+                return None
+            from .cache import active_structure_cache
+
+            cache = active_structure_cache()
+            entries = cache.max_entries if cache is not None else None
+            self._pool = ctx.Pool(self.workers, initializer=_worker_init,
+                                  initargs=(entries,))
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Tear the pool down; a later submit lazily recreates it."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __getstate__(self):
+        # Pools cannot be pickled; Module.clone()/deepcopy and worker-task
+        # pickling of methods that own a generator must survive.
+        state = dict(self.__dict__)
+        state["_pool"] = None
+        return state
+
+    def __del__(self):
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def submit(self, batch: GraphBatch):
+        """Start generating both views; returns a handle with ``result()``.
+
+        The batch counter advances on submission, so submission order —
+        not completion or consumption order — defines the streams.  The
+        serial path computes eagerly and returns a ready handle.
+        """
+        counter = self.counter
+        self.counter += 1
+        graphs = list(batch.graphs)
+        keys1 = view_stream_keys(self.root, counter, 1, len(graphs))
+        keys2 = view_stream_keys(self.root, counter, 2, len(graphs))
+        pool = self._ensure_pool()
+        if pool is None:
+            views1, choice1 = _apply_chunk(self.augmentation, graphs, keys1)
+            views2, choice2 = _apply_chunk(self.augmentation2, graphs, keys2)
+            return _ReadyViews(ViewPair(GraphBatch(views1),
+                                        GraphBatch(views2), choice1, choice2))
+        tasks = []
+        for aug, keys in ((self.augmentation, keys1),
+                          (self.augmentation2, keys2)):
+            for start in range(0, len(graphs), self.chunk_size):
+                stop = start + self.chunk_size
+                tasks.append((aug, graphs[start:stop], keys[start:stop]))
+        view1_chunks = len(tasks) // 2
+        return _PendingViews(pool.starmap_async(_apply_chunk, tasks),
+                             view1_chunks)
+
+    def generate(self, batch: GraphBatch) -> ViewPair:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(batch).result()

@@ -127,6 +127,21 @@ class TestDiffusion:
         diff = ppr_diffusion(g, alpha=0.999)
         np.testing.assert_allclose(diff, np.eye(3), atol=5e-3)
 
+    def test_ppr_solve_matches_explicit_inverse(self):
+        # The LU-solve formulation must agree with the textbook closed
+        # form ``a (I - (1-a) A_sym)^-1`` to machine precision.
+        rng = np.random.default_rng(4)
+        n = 12
+        edges = np.unique(np.sort(rng.integers(0, n, size=(30, 2)), axis=1),
+                          axis=0)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = Graph(n, edges, np.eye(n))
+        alpha = 0.15
+        adj = gcn_normalize(adjacency_matrix(g)).toarray()
+        explicit = alpha * np.linalg.inv(np.eye(n) - (1 - alpha) * adj)
+        np.testing.assert_allclose(ppr_diffusion(g, alpha=alpha), explicit,
+                                   atol=1e-12)
+
     def test_ppr_alpha_validation(self):
         g = Graph(2, [[0, 1]], np.eye(2))
         with pytest.raises(ValueError):

@@ -1,0 +1,77 @@
+"""GraphLoader: seeding, drop_last, and object-array batching."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphLoader
+
+
+def make_graphs(count, n=5):
+    rng = np.random.default_rng(0)
+    graphs = []
+    for i in range(count):
+        edges = [[j, j + 1] for j in range(n - 1)]
+        graphs.append(Graph(n, edges, rng.normal(size=(n, 2)), y=i % 3))
+    return graphs
+
+
+class TestSeeding:
+    def test_seed_gives_reproducible_shuffles(self):
+        graphs = make_graphs(20)
+        first = [b.labels.tolist()
+                 for b in GraphLoader(graphs, batch_size=5, seed=3)]
+        second = [b.labels.tolist()
+                  for b in GraphLoader(graphs, batch_size=5, seed=3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        graphs = make_graphs(20)
+        a = [b.labels.tolist()
+             for b in GraphLoader(graphs, batch_size=20, seed=0)]
+        b = [b.labels.tolist()
+             for b in GraphLoader(graphs, batch_size=20, seed=1)]
+        assert a != b
+
+    def test_seed_matches_explicit_rng(self):
+        graphs = make_graphs(12)
+        seeded = GraphLoader(graphs, batch_size=4, seed=7)
+        explicit = GraphLoader(graphs, batch_size=4,
+                               rng=np.random.default_rng(7))
+        for left, right in zip(seeded, explicit):
+            np.testing.assert_array_equal(left.labels, right.labels)
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            GraphLoader(make_graphs(4), batch_size=2,
+                        rng=np.random.default_rng(0), seed=0)
+
+
+class TestDropLast:
+    def test_partial_tail_dropped(self):
+        loader = GraphLoader(make_graphs(10), batch_size=3, shuffle=False,
+                             drop_last=True)
+        sizes = [b.num_graphs for b in loader]
+        assert sizes == [3, 3, 3]
+        assert len(loader) == 3
+
+    def test_partial_tail_kept_by_default(self):
+        loader = GraphLoader(make_graphs(10), batch_size=3, shuffle=False)
+        assert [b.num_graphs for b in loader] == [3, 3, 3, 1]
+        assert len(loader) == 4
+
+    def test_exact_multiple_unchanged(self):
+        loader = GraphLoader(make_graphs(9), batch_size=3, shuffle=False,
+                             drop_last=True)
+        assert [b.num_graphs for b in loader] == [3, 3, 3]
+
+
+class TestBatching:
+    def test_batches_view_stored_graphs(self):
+        graphs = make_graphs(6)
+        loader = GraphLoader(graphs, batch_size=3, shuffle=False)
+        batch = next(iter(loader))
+        assert all(a is b for a, b in zip(batch.graphs, graphs[:3]))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            GraphLoader(make_graphs(4), batch_size=0)

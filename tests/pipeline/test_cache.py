@@ -1,0 +1,143 @@
+"""Structure cache: fingerprints, LRU bound, invalidation, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBatch, gcn_normalize, adjacency_matrix
+from repro.graph import ppr_diffusion
+from repro.pipeline import (
+    StructureCache,
+    active_structure_cache,
+    structure_fingerprint,
+    use_structure_cache,
+)
+
+
+def make_graph(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = [[i, (i + 1) % n] for i in range(n - 1)]
+    return Graph(n, edges, rng.normal(size=(n, 3)))
+
+
+class TestFingerprint:
+    def test_stable_and_memoized(self):
+        g = make_graph()
+        first = structure_fingerprint(g)
+        assert structure_fingerprint(g) == first
+        assert g._structure_key == first
+
+    def test_structure_sensitive(self):
+        a = make_graph(seed=0)
+        b = a.copy()
+        b.edges = Graph.canonical_edges(np.array([[0, 2]]))
+        assert structure_fingerprint(a) != structure_fingerprint(b)
+
+    def test_features_do_not_matter(self):
+        a = make_graph(seed=0)
+        b = make_graph(seed=1)  # same structure, different features
+        assert structure_fingerprint(a) == structure_fingerprint(b)
+
+
+class TestCacheCore:
+    def test_hit_returns_same_object(self):
+        cache = StructureCache()
+        g = make_graph()
+        first = cache.adjacency(g, "gcn")
+        assert cache.adjacency(g, "gcn") is first
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_values_match_uncached(self):
+        cache = StructureCache()
+        g = make_graph()
+        cached = cache.adjacency(g, "gcn")
+        direct = gcn_normalize(adjacency_matrix(g))
+        assert (cached != direct).nnz == 0
+        ppr_cached = cache.ppr(g, alpha=0.2).toarray()
+        np.testing.assert_array_equal(ppr_cached, ppr_diffusion(g, alpha=0.2))
+
+    def test_lru_eviction_bound(self):
+        cache = StructureCache(max_entries=3)
+        graphs = [make_graph(n=4 + i) for i in range(5)]
+        for g in graphs:
+            cache.adjacency(g)
+        assert len(cache) == 3
+        assert cache.stats()["evictions"] == 2
+        # Oldest two were evicted; refetching them misses again.
+        cache.adjacency(graphs[0])
+        assert cache.stats()["misses"] == 6
+
+    def test_lru_recency_order(self):
+        cache = StructureCache(max_entries=2)
+        a, b, c = (make_graph(n=4), make_graph(n=5), make_graph(n=6))
+        cache.adjacency(a)
+        cache.adjacency(b)
+        cache.adjacency(a)  # refresh a; b is now least recent
+        cache.adjacency(c)  # evicts b
+        cache.adjacency(a)
+        assert cache.stats()["hits"] == 2
+
+    def test_bytes_accounting(self):
+        cache = StructureCache(max_entries=1)
+        g = make_graph()
+        cache.adjacency(g)
+        assert cache.nbytes > 0
+        cache.adjacency(make_graph(n=12))  # evicts the first entry
+        assert len(cache) == 1
+        cache.clear()
+        assert cache.nbytes == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            StructureCache(max_entries=0)
+
+
+class TestInvalidation:
+    def test_in_place_mutation_invalidation(self):
+        cache = StructureCache()
+        g = make_graph()
+        stale = cache.adjacency(g)
+        # Structural augmentation mutating edges in place must invalidate.
+        g.edges = Graph.canonical_edges(
+            np.concatenate([g.edges, [[0, 3]]], axis=0))
+        removed = cache.invalidate(g)
+        assert removed == 1
+        fresh = cache.adjacency(g)
+        assert fresh.nnz != stale.nnz
+
+    def test_invalidate_unseen_graph_is_noop(self):
+        cache = StructureCache()
+        assert cache.invalidate(make_graph()) == 0
+
+    def test_augmented_views_never_alias_source(self):
+        cache = StructureCache()
+        g = make_graph()
+        source = cache.adjacency(g)
+        view = g.subgraph(np.arange(g.num_nodes - 1))
+        assert cache.adjacency(view) is not source
+        assert structure_fingerprint(view) != structure_fingerprint(g)
+
+
+class TestActiveCacheContext:
+    def test_context_installs_and_restores(self):
+        cache = StructureCache()
+        assert active_structure_cache() is None
+        with use_structure_cache(cache):
+            assert active_structure_cache() is cache
+            with use_structure_cache(None):
+                assert active_structure_cache() is None
+            assert active_structure_cache() is cache
+        assert active_structure_cache() is None
+
+    def test_batch_adjacency_identical_with_cache(self):
+        graphs = [make_graph(n=4 + n) for n in range(3)]
+        plain = GraphBatch(graphs).adjacency("gcn")
+        cache = StructureCache()
+        with use_structure_cache(cache):
+            cached = GraphBatch(graphs).adjacency("gcn")
+        assert (plain != cached).nnz == 0
+        assert cache.stats()["misses"] == 3
+        # A second batch over the same graphs is served from the cache.
+        with use_structure_cache(cache):
+            GraphBatch(graphs).adjacency("gcn")
+        assert cache.stats()["hits"] == 3
