@@ -14,7 +14,10 @@ Tiers run in order and the gate stops at the first failure:
   journal (config / epoch with loss_f+loss_g+grad_norm+throughput /
   spectrum / engine / run_end) and a ``repro report`` render; the same
   smoke then reruns with ``--workers 2`` and the ts-stripped journal
-  streams must match exactly (parallel-determinism contract).
+  streams must match exactly (parallel-determinism contract).  Finally
+  the checkpoint/resume drill: a straight 4-epoch ``repro run`` vs the
+  same config interrupted after 2 epochs and continued with
+  ``repro run --resume`` — canonicalized journals must be identical.
 * **d — perf**: ``scripts/check_perf.py --strict``, the fused-kernel
   microbenchmarks against the committed ``BENCH_tensor.json`` baseline
   (fails on >20% regression).
@@ -110,23 +113,17 @@ def _validate_smoke_journal(run_dir: str) -> int:
     return len(failures)
 
 
-#: Journal canonicalization for the parallel-determinism check: wall-clock
-#: and pipeline-topology fields legitimately differ between a serial and a
-#: multi-worker run; every numeric training output must not.
-_NONDETERMINISTIC_KEYS = {"ts", "seconds", "total_seconds", "graphs_per_sec",
-                          "nodes_per_sec", "workers", "prefetch"}
-_NONDETERMINISTIC_EVENTS = {"trace", "metrics"}
-
-
 def _canonical_events(run_dir: str) -> list[dict]:
-    """Journal events with timing/topology stripped, for run comparison."""
-    sys.path.insert(0, str(SRC))
-    from repro.obs import validate_journal
+    """Journal events with timing/topology stripped, for run comparison.
 
-    return [{k: v for k, v in event.items()
-             if k not in _NONDETERMINISTIC_KEYS}
-            for event in validate_journal(run_dir)
-            if event.get("event") not in _NONDETERMINISTIC_EVENTS]
+    Canonicalization lives in :func:`repro.obs.canonical_events` so the CI
+    gate, the resume tests, and ad-hoc journal diffs all agree on which
+    fields are legitimately nondeterministic.
+    """
+    sys.path.insert(0, str(SRC))
+    from repro.obs import canonical_events, validate_journal
+
+    return canonical_events(validate_journal(run_dir))
 
 
 def tier_c_smoke() -> int:
@@ -135,7 +132,8 @@ def tier_c_smoke() -> int:
     Also reruns the same smoke with ``--workers 2`` and asserts the
     canonicalized journal streams match — the parallel-determinism
     contract (identical losses, grad norms, spectra, engine counters)
-    enforced end to end through the CLI.
+    enforced end to end through the CLI — and finishes with the
+    checkpoint/resume drill (:func:`_resume_smoke`).
     """
     with tempfile.TemporaryDirectory(prefix="repro-ci-smoke-") as tmp:
         run_dir = str(Path(tmp) / "run")
@@ -169,7 +167,52 @@ def tier_c_smoke() -> int:
             return 1
         print(f"  parallel determinism ok: {len(serial)} canonical events "
               "identical at --workers 2")
-        return 0
+        return _resume_smoke(tmp)
+
+
+RESUME_ARGS = ["run", "--method", "GraphCL", "--dataset", "MUTAG",
+               "--scale", "tiny", "--seed", "0", "--weight", "0.5",
+               "--epochs", "4", "--checkpoint-every", "2"]
+
+
+def _resume_smoke(tmp: str) -> int:
+    """Checkpoint/resume determinism drill through the CLI.
+
+    Trains 4 epochs straight, then the same config interrupted after 2
+    epochs (``--stop-after``) and resumed with ``repro run --resume``;
+    the two runs' canonicalized journals must be identical — resuming a
+    checkpoint is bit-equivalent to never having been interrupted.
+    """
+    straight_dir = str(Path(tmp) / "resume-straight")
+    status = _run([sys.executable, "-m", "repro.cli", *RESUME_ARGS,
+                   "--run-dir", straight_dir])
+    if status:
+        return status
+    resumed_dir = str(Path(tmp) / "resume-interrupted")
+    status = _run([sys.executable, "-m", "repro.cli", *RESUME_ARGS,
+                   "--run-dir", resumed_dir, "--stop-after", "2"])
+    if status:
+        return status
+    status = _run([sys.executable, "-m", "repro.cli", "run",
+                   "--resume", resumed_dir])
+    if status:
+        return status
+    straight = _canonical_events(straight_dir)
+    resumed = _canonical_events(resumed_dir)
+    if straight != resumed:
+        diffs = sum(a != b for a, b in zip(straight, resumed))
+        diffs += abs(len(straight) - len(resumed))
+        print(f"  resume determinism check failed: {diffs} journal "
+              "event(s) differ between a straight run and an "
+              "interrupted+resumed run")
+        for a, b in zip(straight, resumed):
+            if a != b:
+                print(f"    straight: {a}\n    resumed:  {b}")
+                break
+        return 1
+    print(f"  resume determinism ok: {len(straight)} canonical events "
+          "identical after interrupt + --resume")
+    return 0
 
 
 def tier_d_perf() -> int:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST-based repo lint for CI tier (a).
 
-Three rules, all cheap and all aimed at keeping the library embeddable and
+Four rules, all cheap and all aimed at keeping the library embeddable and
 deterministic:
 
 1. **No ``print()`` in the library** — ``src/repro/`` must stay silent so it
@@ -17,6 +17,13 @@ deterministic:
    pipeline guarantees bit-identical output at every worker count only
    because every draw flows through an explicitly seeded, explicitly
    routed ``Generator``.
+4. **No hardcoded method-name lists** anywhere under ``src/`` outside the
+   method registry (``run/registry.py``): a list/tuple/set literal holding
+   two or more known method names (``"GraphCL"``, ``"SimGRACE"``, ...) is
+   a parallel source of truth that silently goes stale when a method is
+   added — query ``repro.run.registry.method_names()`` instead.
+   ``__all__`` assignments are exempt (re-export lists name classes, not
+   runnable methods).
 
 Exit status is the number of violations (0 = clean).  Run from the repo
 root::
@@ -41,6 +48,34 @@ PRINT_ALLOWED = {LIBRARY / "cli.py", LIBRARY / "utils" / "tables.py"}
 NP_RANDOM_ALLOWED = {LIBRARY / "utils" / "seed.py",
                      LIBRARY / "pipeline" / "seeding.py"}
 
+# The registry is the single place allowed to enumerate methods by name.
+METHOD_LIST_ALLOWED = {LIBRARY / "run" / "registry.py"}
+
+#: Every name registered via ``@register_method`` — a literal list/tuple/
+#: set containing two or more of these outside the registry is a stale-
+#: prone duplicate of ``method_names()``.
+KNOWN_METHOD_NAMES = {
+    "GraphCL", "RGCL", "JOAO", "SimGRACE", "InfoGraph", "MVGRL",
+    "GraphMAE", "GRACE", "GCA", "BGRL", "SGCL", "COSTA", "DGI",
+    "AttrMasking", "ContextPred",
+}
+
+
+def _all_assignment_nodes(tree: ast.AST) -> set[int]:
+    """ids of every node inside an ``__all__ = [...]`` style assignment."""
+    exempt: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            continue
+        if any(isinstance(t, ast.Name) and t.id == "__all__"
+               for t in targets):
+            exempt.update(id(sub) for sub in ast.walk(node))
+    return exempt
+
 
 def _is_np_random_call(node: ast.Call) -> bool:
     """Match ``np.random.<fn>(...)`` / ``numpy.random.<fn>(...)``."""
@@ -63,7 +98,20 @@ def check_file(path: Path) -> list[str]:
     problems = []
     rel = path.relative_to(REPO_ROOT)
     print_banned = (LIBRARY in path.parents and path not in PRINT_ALLOWED)
+    all_exempt = _all_assignment_nodes(tree)
     for node in ast.walk(tree):
+        if (path not in METHOD_LIST_ALLOWED
+                and isinstance(node, (ast.List, ast.Tuple, ast.Set))
+                and id(node) not in all_exempt):
+            names = {elt.value for elt in node.elts
+                     if isinstance(elt, ast.Constant)
+                     and isinstance(elt.value, str)}
+            hits = sorted(names & KNOWN_METHOD_NAMES)
+            if len(hits) >= 2:
+                problems.append(
+                    f"{rel}:{node.lineno}: hardcoded method-name list "
+                    f"{hits} — query repro.run.registry.method_names() "
+                    "instead")
         if (print_banned
                 and isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)

@@ -2,12 +2,18 @@
 
 Subcommands
 -----------
+``run``
+    The unified experiment runner: build a :class:`repro.run.RunConfig`
+    from a JSON config file and/or flags, train via the registry-driven
+    :class:`repro.run.Trainer`, evaluate, and optionally checkpoint.
+    ``--list-methods`` enumerates every registered method;
+    ``--resume RUN_DIR`` continues an interrupted run bit-identically.
 ``datasets``
     Print the statistics tables (paper Tables I/II/III) of the synthetic
     benchmark registry.
 ``train-graph``
     Train a graph-level method (optionally GradGCL-wrapped) and report the
-    SVM evaluation accuracy.
+    SVM evaluation accuracy (a thin shim over ``run``).
 ``train-node``
     Same for node-level methods with the linear-probe protocol.
 ``spectrum``
@@ -15,6 +21,9 @@ Subcommands
     covariance spectrum summary.
 ``flow``
     Run the Lemma 2/3 linear-encoder gradient-flow simulation.
+``sweep``
+    Gradient-weight sensitivity curve (Fig. 8): train one method at
+    several weights ``a`` and print the accuracy-vs-weight table.
 ``report``
     Render the JSONL telemetry journal of a ``--run-dir`` training run as
     text tables (config, per-epoch losses/grad-norms/throughput, collapse
@@ -22,12 +31,16 @@ Subcommands
 
 Examples::
 
+    repro run --list-methods
+    repro run --method SimGRACE --weight 0.5 --dataset MUTAG
+    repro run config.json --epochs 40 --run-dir runs/exp1
+    repro run --resume runs/exp1
     repro datasets --family tu
-    repro train-graph --method SimGRACE --dataset MUTAG --weight 0.5
     repro train-graph --method GraphCL --epochs 2 --run-dir runs/smoke
     repro report runs/smoke
     repro train-node --method GRACE --dataset Cora --weight 0.2
     repro spectrum --dataset IMDB-B --weight 0.5
+    repro sweep --method SimGRACE --weights 0.0 0.5 1.0
     repro flow --weight 0.5
 """
 
@@ -36,13 +49,12 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from repro.run.registry import method_names
 from repro.utils.seed import seeded_rng
 
 __all__ = ["main", "build_parser"]
 
-GRAPH_METHODS = ["GraphCL", "JOAO", "SimGRACE", "InfoGraph", "MVGRL",
-                 "GraphMAE"]
-NODE_METHODS = ["GRACE", "GCA", "BGRL", "SGCL", "COSTA", "MVGRL", "DGI"]
+_SCALES = ["tiny", "small", "paper"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,24 +63,68 @@ def build_parser() -> argparse.ArgumentParser:
         description="GradGCL (ICDE 2024) reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    rn = sub.add_parser(
+        "run", help="run (or resume) an experiment from a config/flags")
+    rn.add_argument("config", nargs="?", default=None,
+                    help="JSON RunConfig file; flags override its fields")
+    rn.add_argument("--list-methods", action="store_true",
+                    help="print every registered method and exit")
+    rn.add_argument("--resume", default=None, metavar="RUN_DIR",
+                    help="continue an interrupted run from its directory")
+    rn.add_argument("--method", choices=method_names(), default=None)
+    rn.add_argument("--level", choices=["graph", "node"], default=None,
+                    help="training level (inferred from the method when "
+                         "unambiguous)")
+    rn.add_argument("--dataset", default=None)
+    rn.add_argument("--scale", choices=_SCALES, default=None)
+    rn.add_argument("--weight", type=float, default=None,
+                    help="gradient-loss weight a (0 = base model)")
+    rn.add_argument("--epochs", type=int, default=None)
+    rn.add_argument("--batch-size", type=int, default=None)
+    rn.add_argument("--lr", type=float, default=None)
+    rn.add_argument("--weight-decay", type=float, default=None)
+    rn.add_argument("--grad-clip", type=float, default=None)
+    rn.add_argument("--patience", type=int, default=None,
+                    help="early-stopping patience in epochs")
+    rn.add_argument("--min-delta", type=float, default=None,
+                    help="early-stopping improvement threshold")
+    rn.add_argument("--seed", type=int, default=None)
+    rn.add_argument("--hidden-dim", type=int, default=None)
+    rn.add_argument("--out-dim", type=int, default=None)
+    rn.add_argument("--layers", type=int, default=None)
+    rn.add_argument("--workers", type=int, default=None,
+                    help="augmentation worker processes (default: "
+                         "REPRO_WORKERS or 0 = serial)")
+    rn.add_argument("--run-dir", default=None,
+                    help="journal + config + checkpoint directory")
+    rn.add_argument("--spectrum-every", type=int, default=None)
+    rn.add_argument("--checkpoint-every", type=int, default=None,
+                    help="write a resumable checkpoint every N epochs "
+                         "(requires --run-dir)")
+    rn.add_argument("--stop-after", type=int, default=None,
+                    help="simulate an interruption after N epochs "
+                         "(for resume drills)")
+    rn.add_argument("--save", default=None,
+                    help="path to save the trained encoder (.npz)")
+    _add_cache_arguments(rn)
+
     ds = sub.add_parser("datasets", help="print benchmark statistics")
     ds.add_argument("--family", choices=["tu", "node", "molecule", "all"],
                     default="all")
-    ds.add_argument("--scale", default="small",
-                    choices=["tiny", "small", "paper"])
+    ds.add_argument("--scale", default="small", choices=_SCALES)
     ds.add_argument("--seed", type=int, default=0)
 
     tg = sub.add_parser("train-graph",
                         help="train and evaluate a graph-level method")
-    tg.add_argument("--method", choices=GRAPH_METHODS, default="SimGRACE")
+    tg.add_argument("--method", choices=method_names("graph"),
+                    default="SimGRACE")
     tg.add_argument("--dataset", default="MUTAG")
     tg.add_argument("--weight", type=float, default=0.0,
                     help="gradient-loss weight a (0 = base model)")
     tg.add_argument("--epochs", type=int, default=20)
     tg.add_argument("--hidden-dim", type=int, default=16)
     tg.add_argument("--layers", type=int, default=2)
-    tg.add_argument("--scale", default="small",
-                    choices=["tiny", "small", "paper"])
+    tg.add_argument("--scale", default="small", choices=_SCALES)
     tg.add_argument("--seed", type=int, default=0)
     tg.add_argument("--save", default=None,
                     help="path to save the trained encoder (.npz)")
@@ -82,15 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     tn = sub.add_parser("train-node",
                         help="train and evaluate a node-level method")
-    tn.add_argument("--method", choices=NODE_METHODS, default="GRACE")
+    tn.add_argument("--method", choices=method_names("node"),
+                    default="GRACE")
     tn.add_argument("--dataset", default="Cora")
     tn.add_argument("--weight", type=float, default=0.0)
     tn.add_argument("--epochs", type=int, default=40)
     tn.add_argument("--hidden-dim", type=int, default=32)
     tn.add_argument("--out-dim", type=int, default=16)
-    tn.add_argument("--scale", default="small",
-                    choices=["tiny", "small", "paper"])
+    tn.add_argument("--scale", default="small", choices=_SCALES)
     tn.add_argument("--seed", type=int, default=0)
+    tn.add_argument("--save", default=None,
+                    help="path to save the trained encoder (.npz)")
     tn.add_argument("--run-dir", default=None,
                     help="write a JSONL telemetry journal to this directory")
     _add_cache_arguments(tn)
@@ -99,8 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--dataset", default="IMDB-B")
     sp.add_argument("--weight", type=float, default=0.0)
     sp.add_argument("--epochs", type=int, default=60)
-    sp.add_argument("--scale", default="small",
-                    choices=["tiny", "small", "paper"])
+    sp.add_argument("--scale", default="small", choices=_SCALES)
     sp.add_argument("--seed", type=int, default=0)
 
     fl = sub.add_parser("flow",
@@ -113,13 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sw = sub.add_parser("sweep",
                         help="gradient-weight sensitivity curve (Fig. 8)")
-    sw.add_argument("--method", choices=GRAPH_METHODS, default="SimGRACE")
+    sw.add_argument("--method", choices=method_names("graph"),
+                    default="SimGRACE")
     sw.add_argument("--dataset", default="MUTAG")
     sw.add_argument("--weights", type=float, nargs="+",
                     default=[0.0, 0.25, 0.5, 0.75, 1.0])
     sw.add_argument("--epochs", type=int, default=15)
-    sw.add_argument("--scale", default="small",
-                    choices=["tiny", "small", "paper"])
+    sw.add_argument("--scale", default="small", choices=_SCALES)
     sw.add_argument("--seed", type=int, default=0)
 
     rp = sub.add_parser("report",
@@ -139,23 +196,76 @@ def _add_cache_arguments(sub: argparse.ArgumentParser) -> None:
                           "REPRO_CACHE_ENTRIES or 1024)")
 
 
-def _structure_cache(args):
-    """Structure cache per the CLI flags (enabled by default — caching
-    reuses structure across epochs without changing any number)."""
+# ----------------------------------------------------------------------
+# The unified runner
+# ----------------------------------------------------------------------
+
+#: run-subcommand flag -> RunConfig field (identity unless noted).
+_RUN_CONFIG_FLAGS = {
+    "method": "method", "level": "level", "dataset": "dataset",
+    "scale": "scale", "weight": "weight", "epochs": "epochs",
+    "batch_size": "batch_size", "lr": "lr",
+    "weight_decay": "weight_decay", "grad_clip": "grad_clip",
+    "patience": "patience", "min_delta": "min_delta", "seed": "seed",
+    "hidden_dim": "hidden_dim",
+    "out_dim": "out_dim", "layers": "num_layers", "workers": "workers",
+    "cache_entries": "cache_entries", "run_dir": "run_dir",
+    "spectrum_every": "spectrum_every",
+    "checkpoint_every": "checkpoint_every", "save": "save",
+}
+
+
+def _print_run_result(result) -> int:
+    """Human summary of a RunResult (shared by run/train-* commands)."""
+    config = result.config
+    if result.interrupted:
+        done = len(result.history.losses) if result.history else 0
+        print(f"{config.method}(a={config.weight}) on {config.dataset}: "
+              f"interrupted after {done}/{config.epochs} epochs")
+        if config.run_dir:
+            print(f"resume with: repro run --resume {config.run_dir}")
+        return 0
+    line = (f"{config.method}(a={config.weight}) on {config.dataset}: "
+            f"accuracy {result.accuracy:.2f}±{result.accuracy_std:.2f}%  ")
+    if result.effective_rank is not None:
+        line += f"effective-rank {result.effective_rank:.2f}  "
+    line += (f"final-loss {result.history.final_loss:.3f}  "
+             f"time {result.history.total_seconds:.1f}s")
+    print(line)
+    if result.journal_path is not None:
+        print(f"journal written to {result.journal_path}")
+    if result.saved_to is not None:
+        print(f"encoder saved to {result.saved_to}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import dataclasses
+
+    from repro.run import RunConfig, execute_run, list_methods, resume_run
+    from repro.utils import print_table
+
+    if args.list_methods:
+        rows = [[e.name, e.level, e.cls.__name__, e.summary]
+                for e in list_methods()]
+        print_table("Registered methods",
+                    ["Method", "Level", "Class", "Summary"], rows)
+        return 0
+    if args.resume is not None:
+        return _print_run_result(
+            resume_run(args.resume, stop_after=args.stop_after))
+    overrides = {field: getattr(args, flag)
+                 for flag, field in _RUN_CONFIG_FLAGS.items()
+                 if getattr(args, flag) is not None}
     if args.no_cache:
-        return None
-    from repro.pipeline import StructureCache
-
-    return StructureCache(max_entries=args.cache_entries)
-
-
-def _open_journal(args):
-    """Fresh RunJournal when ``--run-dir`` was given, else None."""
-    if getattr(args, "run_dir", None) is None:
-        return None
-    from repro.obs import RunJournal
-
-    return RunJournal(args.run_dir)
+        overrides["cache"] = False
+    if args.config is not None:
+        config = dataclasses.replace(RunConfig.from_file(args.config),
+                                     **overrides)
+    else:
+        config = RunConfig(**overrides)
+    return _print_run_result(execute_run(config,
+                                         stop_after=args.stop_after))
 
 
 def _cmd_datasets(args) -> int:
@@ -203,99 +313,31 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _graph_method(name: str):
-    import repro.methods as methods
+def _train_config(args, level: str):
+    """RunConfig for the legacy train-graph / train-node shims."""
+    from repro.run import RunConfig
 
-    return getattr(methods, name)
+    return RunConfig(
+        method=args.method, dataset=args.dataset, level=level,
+        scale=args.scale, weight=args.weight, epochs=args.epochs,
+        seed=args.seed, hidden_dim=args.hidden_dim,
+        out_dim=getattr(args, "out_dim", None),
+        num_layers=getattr(args, "layers", None),
+        workers=getattr(args, "workers", None),
+        cache=not args.no_cache, cache_entries=args.cache_entries,
+        run_dir=args.run_dir, save=args.save)
 
 
 def _cmd_train_graph(args) -> int:
-    from repro.core import effective_rank, gradgcl
-    from repro.datasets import load_tu_dataset
-    from repro.eval import evaluate_graph_embeddings
-    from repro.methods import train_graph_method
-    from repro.nn import save_module
+    from repro.run import execute_run
 
-    dataset = load_tu_dataset(args.dataset, scale=args.scale,
-                              seed=args.seed)
-    rng = seeded_rng(args.seed)
-    method = _graph_method(args.method)(dataset.num_features,
-                                        args.hidden_dim, args.layers,
-                                        rng=rng)
-    if args.weight > 0:
-        method = gradgcl(method, args.weight)
-    journal = _open_journal(args)
-    try:
-        history = train_graph_method(method, dataset.graphs,
-                                     epochs=args.epochs, batch_size=32,
-                                     seed=args.seed, journal=journal,
-                                     workers=args.workers,
-                                     structure_cache=_structure_cache(args))
-        embeddings = method.embed(dataset.graphs)
-        acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
-                                             seed=args.seed)
-        if journal is not None:
-            journal.log("eval", dataset=args.dataset, accuracy=acc,
-                        accuracy_std=std,
-                        effective_rank=effective_rank(embeddings))
-    finally:
-        if journal is not None:
-            journal.close()
-    print(f"{args.method}(a={args.weight}) on {args.dataset}: "
-          f"accuracy {acc:.2f}±{std:.2f}%  "
-          f"effective-rank {effective_rank(embeddings):.2f}  "
-          f"final-loss {history.final_loss:.3f}  "
-          f"time {history.total_seconds:.1f}s")
-    if journal is not None:
-        print(f"journal written to {journal.path}")
-    if args.save:
-        save_module(method.encoder, args.save)
-        print(f"encoder saved to {args.save}")
-    return 0
+    return _print_run_result(execute_run(_train_config(args, "graph")))
 
 
 def _cmd_train_node(args) -> int:
-    from repro.core import gradgcl
-    from repro.datasets import load_node_dataset
-    from repro.eval import evaluate_node_embeddings
-    from repro.methods import MVGRLNode, train_node_method
-    import repro.methods as methods
+    from repro.run import execute_run
 
-    dataset = load_node_dataset(args.dataset, scale=args.scale,
-                                seed=args.seed)
-    rng = seeded_rng(args.seed)
-    if args.method == "MVGRL":
-        method = MVGRLNode(dataset.num_features, args.hidden_dim, rng=rng)
-    else:
-        cls = getattr(methods, args.method)
-        method = cls(dataset.num_features, args.hidden_dim, args.out_dim,
-                     rng=rng)
-    if args.weight > 0:
-        method = gradgcl(method, args.weight)
-    journal = _open_journal(args)
-    try:
-        history = train_node_method(method, dataset.graph,
-                                    epochs=args.epochs, lr=3e-3,
-                                    journal=journal,
-                                    structure_cache=_structure_cache(args))
-        acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
-                                            dataset.labels(),
-                                            dataset.train_mask,
-                                            dataset.test_mask,
-                                            seed=args.seed)
-        if journal is not None:
-            journal.log("eval", dataset=args.dataset, accuracy=acc,
-                        accuracy_std=std)
-    finally:
-        if journal is not None:
-            journal.close()
-    print(f"{args.method}(a={args.weight}) on {args.dataset}: "
-          f"accuracy {acc:.2f}±{std:.2f}%  "
-          f"final-loss {history.final_loss:.3f}  "
-          f"time {history.total_seconds:.1f}s")
-    if journal is not None:
-        print(f"journal written to {journal.path}")
-    return 0
+    return _print_run_result(execute_run(_train_config(args, "node")))
 
 
 def _cmd_spectrum(args) -> int:
@@ -345,27 +387,17 @@ def _cmd_flow(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.core import gradgcl
-    from repro.datasets import load_tu_dataset
-    from repro.eval import evaluate_graph_embeddings
-    from repro.methods import train_graph_method
+    from repro.run import RunConfig, execute_run
     from repro.utils import print_table
 
-    dataset = load_tu_dataset(args.dataset, scale=args.scale,
-                              seed=args.seed)
     rows = []
     for weight in args.weights:
-        rng = seeded_rng(args.seed)
-        method = _graph_method(args.method)(dataset.num_features, 16, 2,
-                                            rng=rng)
-        if weight > 0:
-            method = gradgcl(method, weight)
-        train_graph_method(method, dataset.graphs, epochs=args.epochs,
-                           batch_size=32, seed=args.seed)
-        acc, std = evaluate_graph_embeddings(method.embed(dataset.graphs),
-                                             dataset.labels(),
-                                             seed=args.seed)
-        rows.append([f"a={weight}", f"{acc:.2f}±{std:.2f}"])
+        config = RunConfig(method=args.method, dataset=args.dataset,
+                           level="graph", scale=args.scale, weight=weight,
+                           epochs=args.epochs, seed=args.seed)
+        result = execute_run(config)
+        rows.append([f"a={weight}",
+                     f"{result.accuracy:.2f}±{result.accuracy_std:.2f}"])
     print_table(f"{args.method} on {args.dataset}: accuracy vs gradient "
                 "weight", ["Weight", "Accuracy (%)"], rows)
     return 0
@@ -444,6 +476,7 @@ def _cmd_report(args) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "datasets": _cmd_datasets,
     "train-graph": _cmd_train_graph,
     "train-node": _cmd_train_node,

@@ -100,6 +100,22 @@ class GraphContrastiveMethod(Module):
     def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
         """Hook for schedule updates (JOAO's augmentation distribution)."""
 
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (see repro.run.state.TrainState)
+    # ------------------------------------------------------------------
+    def training_state(self) -> dict:
+        """JSON-able schedule state beyond parameters/RNG (default: none).
+
+        Methods with mutable training-time state that parameters and the
+        ``_rng`` stream do not capture (JOAO's augmentation distribution,
+        RGCL's step counter) override this plus
+        :meth:`load_training_state` so checkpoint/resume stays exact.
+        """
+        return {}
+
+    def load_training_state(self, state: dict) -> None:
+        """Reinstall state captured by :meth:`training_state`."""
+
 
 class NodeContrastiveMethod(Module):
     """A self-supervised method producing node-level embeddings."""
@@ -125,6 +141,8 @@ class NodeContrastiveMethod(Module):
         return out
 
     combine_with_gradients = GraphContrastiveMethod.combine_with_gradients
+    training_state = GraphContrastiveMethod.training_state
+    load_training_state = GraphContrastiveMethod.load_training_state
 
     def on_epoch_end(self, epoch: int, epoch_loss: float) -> None:
         """Hook for schedule updates (e.g. BGRL's EMA momentum)."""

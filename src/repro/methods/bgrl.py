@@ -21,6 +21,7 @@ from ..core import bootstrap_gradient_features
 from ..gnn import GCNEncoder, ProjectionHead
 from ..graph import Graph, adjacency_matrix, gcn_normalize
 from ..losses import bootstrap_cosine_loss, info_nce
+from ..run.registry import register_method
 from ..tensor import Tensor, no_grad
 from .base import NodeContrastiveMethod
 
@@ -42,6 +43,7 @@ class BootstrapObjective(ContrastiveObjective):
         return grad, grad
 
 
+@register_method("BGRL", level="node")
 class BGRL(NodeContrastiveMethod):
     """BGRL with EMA target network."""
 
@@ -130,6 +132,7 @@ class BGRL(NodeContrastiveMethod):
         return self.encoder(Tensor(graph.x), adj)
 
 
+@register_method("SGCL", level="node")
 class SGCL(BGRL):
     """Simplified bootstrapped GCL: stop-gradient target, no EMA."""
 

@@ -14,12 +14,14 @@ import numpy as np
 from ..core import ContrastiveObjective, InfoNCEObjective
 from ..gnn import GCNEncoder, ProjectionHead
 from ..graph import Graph, adjacency_matrix, gcn_normalize
+from ..run.registry import register_method
 from ..tensor import Tensor
 from .base import NodeContrastiveMethod
 
 __all__ = ["COSTA"]
 
 
+@register_method("COSTA", level="node")
 class COSTA(NodeContrastiveMethod):
     """COSTA-SV with a pluggable objective (GradGCL-ready)."""
 

@@ -17,12 +17,14 @@ from ..core import ContrastiveObjective, GradGCLObjective, JSDObjective
 from ..gnn import GCNEncoder
 from ..graph import Graph, adjacency_matrix, gcn_normalize
 from ..losses import info_nce, jsd_bipartite_loss
+from ..run.registry import register_method
 from ..tensor import Tensor, concat
 from .base import NodeContrastiveMethod
 
 __all__ = ["DGI"]
 
 
+@register_method("DGI", level="node")
 class DGI(NodeContrastiveMethod):
     """Deep Graph Infomax with a GradGCL-compatible objective."""
 

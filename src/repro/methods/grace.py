@@ -30,12 +30,14 @@ from ..core import (
 from ..losses import info_nce
 from ..gnn import GCNEncoder, ProjectionHead
 from ..graph import Graph, adjacency_matrix, gcn_normalize
+from ..run.registry import register_method
 from ..tensor import Tensor
 from .base import NodeContrastiveMethod
 
 __all__ = ["GRACE", "GCA"]
 
 
+@register_method("GRACE", level="node")
 class GRACE(NodeContrastiveMethod):
     """GRACE with a pluggable objective (GradGCL-ready)."""
 
@@ -132,6 +134,7 @@ class GRACE(NodeContrastiveMethod):
         return self.encoder(Tensor(graph.x), adj)
 
 
+@register_method("GCA", level="node")
 class GCA(GRACE):
     """GRACE with degree-centrality-adaptive augmentation."""
 

@@ -22,6 +22,7 @@ from ..core import ContrastiveObjective, InfoNCEObjective
 from ..gnn import GINEncoder, ProjectionHead
 from ..graph import GraphBatch
 from ..pipeline import ViewGenerator, spawn_root
+from ..run.registry import register_method
 from ..tensor import Tensor
 from .base import GraphContrastiveMethod
 
@@ -38,6 +39,7 @@ def default_augmentation() -> RandomChoice:
     ])
 
 
+@register_method("GraphCL", level="graph")
 class GraphCL(GraphContrastiveMethod):
     """GraphCL with a pluggable objective (GradGCL-ready).
 

@@ -19,6 +19,7 @@ from ..gnn import GINEncoder
 from ..graph import GraphBatch
 from ..losses import info_nce, sce_loss
 from ..nn import MLP, Parameter
+from ..run.registry import register_method
 from ..tensor import Tensor, dot_rows, l2_normalize
 from .base import GraphContrastiveMethod
 
@@ -48,6 +49,7 @@ def _sce_gradient_features(reconstruction: Tensor, target: Tensor,
     return (r_hat * cos - t_hat) * scale / norms
 
 
+@register_method("GraphMAE", level="graph")
 class GraphMAE(GraphContrastiveMethod):
     """Masked graph autoencoder with SCE reconstruction."""
 

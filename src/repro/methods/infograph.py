@@ -21,12 +21,14 @@ from ..core import bipartite_jsd_gradient_features
 from ..gnn import GINEncoder, ProjectionHead
 from ..graph import GraphBatch
 from ..losses import jsd_bipartite_loss
+from ..run.registry import register_method
 from ..tensor import Tensor, l2_normalize
 from .base import GraphContrastiveMethod
 
 __all__ = ["InfoGraph"]
 
 
+@register_method("InfoGraph", level="graph")
 class InfoGraph(GraphContrastiveMethod):
     """InfoGraph with separate local/global projection heads."""
 

@@ -12,12 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import GraphBatch
+from ..run.registry import register_method
 from ..tensor import Tensor
 from .graphcl import GraphCL
 
 __all__ = ["JOAO"]
 
 
+@register_method("JOAO", level="graph")
 class JOAO(GraphCL):
     """GraphCL + learned augmentation distribution."""
 
@@ -63,3 +65,21 @@ class JOAO(GraphCL):
     @property
     def augmentation_probabilities(self) -> np.ndarray:
         return self.augmentation.probabilities.copy()
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def training_state(self) -> dict:
+        """Learned distribution + running per-augmentation losses."""
+        return {"probabilities": [float(p) for p in
+                                  self.augmentation.probabilities],
+                "loss_sums": [float(s) for s in self._loss_sums],
+                "loss_counts": [float(c) for c in self._loss_counts]}
+
+    def load_training_state(self, state: dict) -> None:
+        probs = np.asarray(state["probabilities"], dtype=float)
+        self.augmentation.set_probabilities(probs)
+        if self.augmentation2 is not self.augmentation:
+            self.augmentation2.set_probabilities(probs)
+        self._loss_sums[:] = state["loss_sums"]
+        self._loss_counts[:] = state["loss_counts"]

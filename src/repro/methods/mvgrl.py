@@ -25,6 +25,7 @@ from ..graph import Graph, GraphBatch, adjacency_matrix, gcn_normalize, ppr_diff
 from ..losses import info_nce, jsd_bipartite_loss
 from ..nn import ModuleList, PReLU
 from ..pipeline import active_structure_cache
+from ..run.registry import register_method
 from ..tensor import Tensor, concat
 from ..utils.seed import seeded_rng
 from .base import GraphContrastiveMethod, NodeContrastiveMethod
@@ -63,6 +64,7 @@ class _GCNStack(ModuleList):
         return h
 
 
+@register_method("MVGRL", level="graph")
 class MVGRL(GraphContrastiveMethod):
     """Graph-level MVGRL with a GradGCL-compatible objective."""
 
@@ -123,6 +125,7 @@ class MVGRL(GraphContrastiveMethod):
         return concat([graph_adj, graph_diff], axis=1)
 
 
+@register_method("MVGRL", level="node")
 class MVGRLNode(NodeContrastiveMethod):
     """Node-level MVGRL (DGI-style) for the node-classification tables."""
 

@@ -19,6 +19,7 @@ import numpy as np
 from ..gnn import GINEncoder
 from ..graph import GraphBatch
 from ..nn import Linear
+from ..run.registry import register_method
 from ..tensor import Tensor, log_softmax
 from .base import GraphContrastiveMethod
 
@@ -31,6 +32,7 @@ class _NullObjective:
     last_parts: dict[str, float] = {}
 
 
+@register_method("AttrMasking", level="graph")
 class AttrMasking(GraphContrastiveMethod):
     """Masked atom-type prediction pretraining (Hu et al. 2019).
 
@@ -72,6 +74,7 @@ class AttrMasking(GraphContrastiveMethod):
         return h
 
 
+@register_method("ContextPred", level="graph")
 class ContextPred(GraphContrastiveMethod):
     """Neighbour-vs-random pair discrimination pretraining."""
 

@@ -19,12 +19,14 @@ import numpy as np
 
 from ..core import ContrastiveObjective, InfoNCEObjective
 from ..graph import Graph, GraphBatch
+from ..run.registry import register_method
 from ..tensor import Tensor
 from .graphcl import GraphCL
 
 __all__ = ["RGCL"]
 
 
+@register_method("RGCL", level="graph")
 class RGCL(GraphCL):
     """GraphCL with rationale-preserving node dropping."""
 
@@ -134,3 +136,19 @@ class RGCL(GraphCL):
         _, h1 = self.encoder(view1)
         _, h2 = self.encoder(view2)
         return self.projector(h1), self.projector(h2)
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks
+    # ------------------------------------------------------------------
+    def training_state(self) -> dict:
+        """The refresh-schedule step counter.
+
+        The ``id()``-keyed saliency cache cannot survive a process
+        boundary (fresh objects get fresh ids), so a resumed RGCL run
+        recomputes saliency on its first batch — deterministic, but not
+        bit-identical to the uninterrupted run (see docs/architecture.md).
+        """
+        return {"step": int(self._step)}
+
+    def load_training_state(self, state: dict) -> None:
+        self._step = int(state["step"])

@@ -13,12 +13,14 @@ from ..augment import perturbed_copy
 from ..core import ContrastiveObjective, InfoNCEObjective
 from ..gnn import GINEncoder, ProjectionHead
 from ..graph import GraphBatch
+from ..run.registry import register_method
 from ..tensor import Tensor, no_grad
 from .base import GraphContrastiveMethod
 
 __all__ = ["SimGRACE"]
 
 
+@register_method("SimGRACE", level="graph")
 class SimGRACE(GraphContrastiveMethod):
     """SimGRACE with a pluggable objective (GradGCL-ready).
 

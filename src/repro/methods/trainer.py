@@ -1,176 +1,43 @@
-"""Training loops shared by all methods, with history and run telemetry.
+"""Backward-compatible training entry points over :mod:`repro.run`.
 
+``train_graph_method`` / ``train_node_method`` keep their historical
+signatures and numbers exactly, but are now thin wrappers that build the
+unified callback-driven :class:`repro.run.Trainer` with the matching step
+strategy (:class:`repro.run.GraphSteps` / :class:`repro.run.NodeSteps`).
 The history records per-epoch loss (and GradGCL's loss_f / loss_g parts),
 wall-clock time (Table VIII), and optional alignment/uniformity probes
-(Fig. 7).  Passing ``journal=RunJournal(run_dir)`` additionally streams the
-run as structured JSONL events — config, per-epoch losses with pre-clip
-gradient norms and throughput, the collapse spectrum (Figs. 1/5), span
-timings, and tensor-engine counters — in the schema described in
-``docs/observability.md``.  With ``journal=None`` (the default) the loops
-take the exact seed-era fast path: telemetry costs one ``is not None``
-check per batch.
+(Fig. 7); passing ``journal=RunJournal(run_dir)`` streams the run as
+structured JSONL events in the schema described in
+``docs/observability.md``.  With ``journal=None`` (the default) the engine
+takes the exact seed-era fast path.
+
+New relative to the inlined-loop era: the node path now supports
+``patience`` / ``min_delta`` early stopping and registers
+``shutdown_pipeline`` cleanup exactly like the graph path (closing the old
+parity gaps), and both paths accept ``checkpoint_every`` + ``run_dir``
+via :mod:`repro.run` for resumable runs.
 """
 
 from __future__ import annotations
 
-import contextlib
-from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
-from ..graph import Graph, GraphLoader
-from ..nn import Adam
-from ..obs import RunJournal, Tracer, engine_stats
-from ..pipeline import (
-    PrefetchLoader,
-    StructureCache,
-    resolve_workers,
-    use_structure_cache,
+from ..graph import Graph
+from ..obs import RunJournal
+from ..pipeline import StructureCache
+from ..run.trainer import (  # re-exported for backward compatibility
+    GraphSteps,
+    NodeSteps,
+    TrainHistory,
+    Trainer,
+    _mean_parts,  # noqa: F401  (import-path compatibility)
+    clip_gradients,
+    gradient_norm,
 )
-from ..utils import Timer
-from ..utils.seed import seeded_rng
 from .base import GraphContrastiveMethod, NodeContrastiveMethod
 
 __all__ = ["TrainHistory", "train_graph_method", "train_node_method",
            "clip_gradients", "gradient_norm"]
-
-
-def gradient_norm(parameters) -> float:
-    """Global L2 norm over all materialized parameter gradients."""
-    total = 0.0
-    for p in parameters:
-        if p.grad is not None:
-            total += float((p.grad ** 2).sum())
-    return float(np.sqrt(total))
-
-
-def clip_gradients(parameters, max_norm: float) -> float:
-    """Scale gradients so their global L2 norm is at most ``max_norm``.
-
-    Returns the pre-clipping norm (the quantity the run journal logs).
-    """
-    if max_norm <= 0:
-        raise ValueError(f"max_norm must be positive, got {max_norm}")
-    parameters = list(parameters)
-    norm = gradient_norm(parameters)
-    if norm > max_norm:
-        scale = max_norm / (norm + 1e-12)
-        for p in parameters:
-            if p.grad is not None:
-                p.grad *= scale
-    return norm
-
-
-def _check_finite(loss_value: float, context: str) -> None:
-    if not np.isfinite(loss_value):
-        raise FloatingPointError(
-            f"non-finite loss ({loss_value}) during {context}; check the "
-            "learning rate and temperature settings")
-
-
-@dataclass
-class TrainHistory:
-    """Per-epoch training record."""
-
-    losses: list[float] = field(default_factory=list)
-    parts: list[dict[str, float]] = field(default_factory=list)
-    epoch_seconds: list[float] = field(default_factory=list)
-    probes: list[dict[str, float]] = field(default_factory=list)
-    grad_norms: list[float] = field(default_factory=list)
-
-    @property
-    def total_seconds(self) -> float:
-        return float(sum(self.epoch_seconds))
-
-    @property
-    def final_loss(self) -> float:
-        if not self.losses:
-            raise ValueError("history is empty")
-        return self.losses[-1]
-
-
-def _mean_parts(parts: list[dict[str, float]]) -> dict[str, float]:
-    if not parts:
-        return {}
-    keys = set().union(*parts)
-    return {k: float(np.mean([p[k] for p in parts if k in p])) for k in keys}
-
-
-# ----------------------------------------------------------------------
-# Journal emission helpers (shared by both loops)
-# ----------------------------------------------------------------------
-
-def _training_flags() -> dict:
-    """Dtype/fused-kernel state recorded in every run's config event."""
-    from ..tensor import get_default_dtype, use_fused
-
-    return {"dtype": np.dtype(get_default_dtype()).name,
-            "fused_kernels": use_fused()}
-
-
-def _log_config(journal: RunJournal, method, kind: str, **fields) -> None:
-    objective = getattr(method, "objective", None)
-    weight = getattr(objective, "weight", None)
-    journal.log("config", kind=kind, method=type(method).__name__,
-                method_name=getattr(method, "name", type(method).__name__),
-                gradgcl_weight=weight, **_training_flags(), **fields)
-
-
-def _log_epoch(journal: RunJournal, history: TrainHistory, epoch: int,
-               seconds: float, throughput: dict) -> None:
-    record = {"epoch": epoch, "loss": history.losses[-1],
-              "seconds": seconds, **history.parts[-1], **throughput}
-    if history.grad_norms:
-        record["grad_norm"] = history.grad_norms[-1]
-    journal.log("epoch", **record)
-
-
-def _log_spectrum(journal: RunJournal, embeddings: np.ndarray,
-                  epoch: int) -> None:
-    from ..core import effective_rank, num_collapsed_dimensions, \
-        singular_spectrum
-
-    spectrum = singular_spectrum(embeddings)
-    journal.log("spectrum", epoch=epoch,
-                singular_values=[float(s) for s in spectrum],
-                effective_rank=effective_rank(embeddings),
-                collapsed_dims=num_collapsed_dimensions(embeddings, tol=1e-4),
-                embedding_dim=int(embeddings.shape[1]))
-
-
-def _log_run_end(journal: RunJournal, history: TrainHistory, tracer: Tracer,
-                 engine, epochs_run: int,
-                 cache: StructureCache | None = None) -> None:
-    if tracer.roots:
-        journal.log("trace", spans=tracer.snapshot())
-    if cache is not None:
-        journal.log("metrics", **cache.stats())
-    journal.log("engine", **engine.snapshot())
-    journal.log("run_end", epochs_run=epochs_run,
-                final_loss=history.final_loss,
-                total_seconds=history.total_seconds)
-
-
-def _resolve_pipeline(method, workers, prefetch, structure_cache):
-    """Normalize the pipeline knobs shared by both training loops.
-
-    ``workers=None`` defers to ``REPRO_WORKERS`` (default 0 = the serial
-    seed-era path); ``structure_cache=True`` builds a default-sized
-    :class:`StructureCache`; ``prefetch=None`` auto-enables double
-    buffering exactly when a worker pool exists to overlap with.
-    """
-    workers = resolve_workers(workers)
-    if structure_cache is True:
-        structure_cache = StructureCache()
-    elif structure_cache is False:
-        structure_cache = None
-    method.configure_pipeline(workers=workers, cache=structure_cache)
-    has_generator = getattr(method, "view_generator", None) is not None
-    if prefetch is None:
-        prefetch = workers > 0 and has_generator
-    prefetch = bool(prefetch) and has_generator
-    return workers, prefetch, structure_cache
 
 
 def train_graph_method(method: GraphContrastiveMethod,
@@ -216,99 +83,28 @@ def train_graph_method(method: GraphContrastiveMethod,
         adjacency/diffusion structure across batches and epochs (never
         changes numbers); ``None``/``False`` disables caching.
     """
-    if epochs < 1:
-        raise ValueError(f"epochs must be >= 1, got {epochs}")
-    telemetry = journal is not None
-    optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
-    loader = GraphLoader(graphs, batch_size=batch_size, shuffle=True,
-                         rng=seeded_rng(seed))
-    workers, prefetch, structure_cache = _resolve_pipeline(
-        method, workers, prefetch, structure_cache)
-    history = TrainHistory()
-    if telemetry:
-        _log_config(journal, method, "graph", num_graphs=len(graphs),
-                    epochs=epochs, batch_size=batch_size, lr=lr,
-                    weight_decay=weight_decay, seed=seed,
-                    grad_clip=grad_clip, patience=patience,
-                    workers=workers, prefetch=prefetch,
-                    structure_cache=structure_cache is not None)
-    tracer = Tracer(enabled=telemetry)
-    best_loss = np.inf
-    stall = 0
-    epochs_run = 0
-    method.train()
-    batch_source = (PrefetchLoader(loader, method.view_generator)
-                    if prefetch else loader)
-    with contextlib.ExitStack() as stack:
-        # Pool shutdown must run even on a mid-epoch exception; the active
-        # structure cache covers training *and* the final embed/spectrum.
-        stack.callback(method.shutdown_pipeline)
-        stack.enter_context(use_structure_cache(structure_cache))
-        engine = stack.enter_context(engine_stats(enabled=telemetry))
-        for epoch in range(epochs):
-            epoch_losses: list[float] = []
-            epoch_parts: list[dict[str, float]] = []
-            epoch_norms: list[float] = []
-            graphs_seen = 0
-            with tracer.trace("epoch"), Timer() as timer:
-                for batch in batch_source:
-                    if batch.num_graphs < 2:
-                        continue  # contrastive losses need in-batch negatives
-                    optimizer.zero_grad()
-                    with tracer.trace("forward"):
-                        loss = method.training_loss(batch)
-                    _check_finite(loss.item(), f"epoch {epoch}")
-                    with tracer.trace("backward"):
-                        loss.backward()
-                    if grad_clip is not None:
-                        epoch_norms.append(
-                            clip_gradients(optimizer.params, grad_clip))
-                    elif telemetry:
-                        epoch_norms.append(gradient_norm(optimizer.params))
-                    with tracer.trace("step"):
-                        optimizer.step()
-                    epoch_losses.append(loss.item())
-                    graphs_seen += batch.num_graphs
-                    parts = getattr(method.objective, "last_parts", None)
-                    if parts:
-                        epoch_parts.append(dict(parts))
-            history.losses.append(float(np.mean(epoch_losses)))
-            history.parts.append(_mean_parts(epoch_parts))
-            history.epoch_seconds.append(timer.elapsed)
-            if epoch_norms:
-                history.grad_norms.append(float(np.mean(epoch_norms)))
-            epochs_run = epoch + 1
-            method.on_epoch_end(epoch, history.losses[-1])
-            if probe is not None:
-                history.probes.append(probe(method))
-            if telemetry:
-                per_sec = graphs_seen / max(timer.elapsed, 1e-12)
-                _log_epoch(journal, history, epoch, timer.elapsed,
-                           {"graphs_per_sec": per_sec,
-                            "graphs_seen": graphs_seen})
-                if spectrum_every and (epoch + 1) % spectrum_every == 0 \
-                        and epoch + 1 < epochs:
-                    _log_spectrum(journal, method.embed(graphs), epoch)
-            if patience is not None:
-                if history.losses[-1] < best_loss - min_delta:
-                    best_loss = history.losses[-1]
-                    stall = 0
-                else:
-                    stall += 1
-                    if stall >= patience:
-                        break
-        if telemetry:
-            _log_spectrum(journal, method.embed(graphs), epochs_run - 1)
-    if telemetry:
-        _log_run_end(journal, history, tracer, engine, epochs_run,
-                     structure_cache)
-    return history
+    trainer = Trainer(method, GraphSteps(graphs, batch_size=batch_size,
+                                         seed=seed),
+                      epochs=epochs, lr=lr, weight_decay=weight_decay,
+                      grad_clip=grad_clip, patience=patience,
+                      min_delta=min_delta, probe=probe, journal=journal,
+                      spectrum_every=spectrum_every, workers=workers,
+                      prefetch=prefetch, structure_cache=structure_cache)
+    trainer.log_config(num_graphs=len(graphs), epochs=epochs,
+                       batch_size=batch_size, lr=lr,
+                       weight_decay=weight_decay, seed=seed,
+                       grad_clip=grad_clip, patience=patience,
+                       workers=trainer.workers, prefetch=trainer.prefetch,
+                       structure_cache=trainer.structure_cache is not None)
+    return trainer.fit()
 
 
 def train_node_method(method: NodeContrastiveMethod, graph: Graph, *,
                       epochs: int = 50, lr: float = 1e-3,
                       weight_decay: float = 0.0,
                       grad_clip: float | None = None,
+                      patience: int | None = None,
+                      min_delta: float = 1e-4,
                       probe: Callable[[NodeContrastiveMethod], dict] | None = None,
                       journal: RunJournal | None = None,
                       spectrum_every: int | None = None,
@@ -316,62 +112,19 @@ def train_node_method(method: NodeContrastiveMethod, graph: Graph, *,
                       ) -> TrainHistory:
     """Full-graph training loop for node-level methods.
 
-    ``journal`` / ``spectrum_every`` behave as in
+    ``journal`` / ``spectrum_every`` / ``patience`` behave as in
     :func:`train_graph_method`; throughput is reported as nodes/sec since
     every epoch is one full-graph step.  ``structure_cache`` behaves as in
     :func:`train_graph_method` (there is no per-graph view fan-out to
     parallelize in a full-graph loop, so no ``workers`` knob here).
     """
-    if epochs < 1:
-        raise ValueError(f"epochs must be >= 1, got {epochs}")
-    telemetry = journal is not None
-    optimizer = Adam(method.parameters(), lr=lr, weight_decay=weight_decay)
-    _, _, structure_cache = _resolve_pipeline(method, 0, False,
-                                              structure_cache)
-    history = TrainHistory()
-    if telemetry:
-        _log_config(journal, method, "node", num_nodes=graph.num_nodes,
-                    epochs=epochs, lr=lr, weight_decay=weight_decay,
-                    grad_clip=grad_clip,
-                    structure_cache=structure_cache is not None)
-    tracer = Tracer(enabled=telemetry)
-    method.train()
-    with use_structure_cache(structure_cache), \
-            engine_stats(enabled=telemetry) as engine:
-        for epoch in range(epochs):
-            with tracer.trace("epoch"), Timer() as timer:
-                optimizer.zero_grad()
-                with tracer.trace("forward"):
-                    loss = method.training_loss(graph)
-                _check_finite(loss.item(), f"epoch {epoch}")
-                with tracer.trace("backward"):
-                    loss.backward()
-                if grad_clip is not None:
-                    history.grad_norms.append(
-                        clip_gradients(optimizer.params, grad_clip))
-                elif telemetry:
-                    history.grad_norms.append(
-                        gradient_norm(optimizer.params))
-                with tracer.trace("step"):
-                    optimizer.step()
-            history.losses.append(loss.item())
-            parts = getattr(method.objective, "last_parts", None)
-            history.parts.append(dict(parts) if parts else {})
-            history.epoch_seconds.append(timer.elapsed)
-            method.on_epoch_end(epoch, history.losses[-1])
-            if probe is not None:
-                history.probes.append(probe(method))
-            if telemetry:
-                per_sec = graph.num_nodes / max(timer.elapsed, 1e-12)
-                _log_epoch(journal, history, epoch, timer.elapsed,
-                           {"nodes_per_sec": per_sec,
-                            "nodes_seen": graph.num_nodes})
-                if spectrum_every and (epoch + 1) % spectrum_every == 0 \
-                        and epoch + 1 < epochs:
-                    _log_spectrum(journal, method.embed(graph), epoch)
-    if telemetry:
-        with use_structure_cache(structure_cache):
-            _log_spectrum(journal, method.embed(graph), epochs - 1)
-        _log_run_end(journal, history, tracer, engine, epochs,
-                     structure_cache)
-    return history
+    trainer = Trainer(method, NodeSteps(graph), epochs=epochs, lr=lr,
+                      weight_decay=weight_decay, grad_clip=grad_clip,
+                      patience=patience, min_delta=min_delta, probe=probe,
+                      journal=journal, spectrum_every=spectrum_every,
+                      structure_cache=structure_cache)
+    trainer.log_config(num_nodes=graph.num_nodes, epochs=epochs, lr=lr,
+                       weight_decay=weight_decay, grad_clip=grad_clip,
+                       patience=patience,
+                       structure_cache=trainer.structure_cache is not None)
+    return trainer.fit()

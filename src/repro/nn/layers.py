@@ -48,6 +48,8 @@ class Linear(Module):
 class BatchNorm1d(Module):
     """Batch normalization over the feature axis with running statistics."""
 
+    _buffer_attrs = ("running_mean", "running_var")
+
     def __init__(self, num_features: int, momentum: float = 0.1,
                  eps: float = 1e-5):
         super().__init__()

@@ -32,7 +32,16 @@ class Module:
     Subclasses implement :meth:`forward`; parameters and child modules are
     found by walking instance attributes, so plain attribute assignment is
     all that is needed to register them.
+
+    Non-parameter state that training mutates (BatchNorm running
+    statistics) is declared via the ``_buffer_attrs`` class attribute so
+    checkpointing (:class:`repro.run.TrainState`) can capture it alongside
+    the parameters.
     """
+
+    #: Names of instance attributes holding non-parameter ndarray state
+    #: that must survive a checkpoint/resume cycle.
+    _buffer_attrs: tuple[str, ...] = ()
 
     def __init__(self):
         self.training = True
@@ -66,6 +75,50 @@ class Module:
 
     def parameters(self) -> list[Parameter]:
         return [p for _, p in self.named_parameters()]
+
+    def named_buffer_slots(self, prefix: str = "") -> Iterator[tuple[str, "Module", str]]:
+        """Yield ``(dotted_name, owner_module, attr)`` for every buffer.
+
+        Buffers are the attributes each module class lists in
+        ``_buffer_attrs`` (e.g. BatchNorm1d's running statistics); the
+        owner/attr pair lets callers reassign them in place.
+        """
+        for attr in self._buffer_attrs:
+            if getattr(self, attr, None) is not None:
+                yield f"{prefix}{attr}", self, attr
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Module):
+                yield from value.named_buffer_slots(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_buffer_slots(
+                            prefix=f"{full}.{i}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, array)`` for all registered buffers."""
+        for name, owner, attr in self.named_buffer_slots(prefix):
+            yield name, getattr(owner, attr)
+
+    def buffers_dict(self) -> dict[str, np.ndarray]:
+        """Name -> array-copy mapping of all buffers (like state_dict)."""
+        return {name: np.copy(value) for name, value in self.named_buffers()}
+
+    def load_buffers_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Reinstall buffers captured by :meth:`buffers_dict` (strict)."""
+        slots = {name: (owner, attr)
+                 for name, owner, attr in self.named_buffer_slots()}
+        missing = set(slots) - set(state)
+        unexpected = set(state) - set(slots)
+        if missing or unexpected:
+            raise KeyError(
+                f"buffer dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}")
+        for name, (owner, attr) in slots.items():
+            current = getattr(owner, attr)
+            setattr(owner, attr,
+                    np.asarray(state[name], dtype=current.dtype).copy())
 
     def modules(self) -> Iterator["Module"]:
         """Yield this module and all descendants."""

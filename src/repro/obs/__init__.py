@@ -21,6 +21,7 @@ from .journal import (
     EVENT_TYPES,
     JOURNAL_FILENAME,
     RunJournal,
+    canonical_events,
     events_of,
     read_journal,
     validate_journal,
@@ -32,6 +33,6 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricRegistry",
     "Span", "Tracer", "trace", "default_tracer",
     "EVENT_TYPES", "JOURNAL_FILENAME", "RunJournal", "read_journal",
-    "validate_journal", "events_of",
+    "validate_journal", "events_of", "canonical_events",
     "ENGINE", "EngineStats", "engine_stats",
 ]

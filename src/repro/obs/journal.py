@@ -27,7 +27,7 @@ from typing import IO, Iterable
 import numpy as np
 
 __all__ = ["EVENT_TYPES", "JOURNAL_FILENAME", "RunJournal", "read_journal",
-           "validate_journal", "events_of"]
+           "validate_journal", "events_of", "canonical_events"]
 
 JOURNAL_FILENAME = "events.jsonl"
 
@@ -164,3 +164,33 @@ def validate_journal(run_dir) -> list[dict]:
 def events_of(events: Iterable[dict], event_type: str) -> list[dict]:
     """Filter a parsed journal down to one event type (in order)."""
     return [e for e in events if e.get("event") == event_type]
+
+
+#: Fields that legitimately differ between reruns of the same seed:
+#: wall-clock stamps, measured durations, throughput derived from them, and
+#: the pipeline-shape knobs that are guaranteed not to change any number.
+NONDETERMINISTIC_KEYS = frozenset({
+    "ts", "seconds", "total_seconds", "graphs_per_sec", "nodes_per_sec",
+    "workers", "prefetch",
+})
+
+#: Event types that are timing-only (span statistics) or depend on
+#: cache hit/miss patterns rather than on training numbers.
+NONDETERMINISTIC_EVENTS = frozenset({"trace", "metrics"})
+
+
+def canonical_events(events: Iterable[dict]) -> list[dict]:
+    """Strip wall-clock/throughput noise for journal equality checks.
+
+    Two runs of the same seed — at different worker counts, or split by a
+    checkpoint/resume cycle — must produce *identical* canonical event
+    lists.  This is the comparison behind CI's determinism and resume
+    smokes and the checkpoint tests.
+    """
+    canonical = []
+    for event in events:
+        if event.get("event") in NONDETERMINISTIC_EVENTS:
+            continue
+        canonical.append({k: v for k, v in event.items()
+                          if k not in NONDETERMINISTIC_KEYS})
+    return canonical

@@ -1,0 +1,192 @@
+"""Callback protocol for the unified :class:`repro.run.Trainer`.
+
+Everything that used to be inlined into the two training loops — early
+stopping, journal emission, spectrum probes, user probes, checkpointing —
+is a :class:`Callback` with three hooks:
+
+* ``on_train_begin(trainer)`` — after the pipeline is resolved, before the
+  first epoch;
+* ``on_epoch_end(trainer, epoch)`` — after the epoch's history entry is
+  recorded and ``method.on_epoch_end`` ran; callbacks may call
+  ``trainer.request_stop()`` to end training after this epoch;
+* ``on_train_end(trainer)`` — once, after the last epoch (also on early
+  stop), still inside the trainer's pipeline/cache context.
+
+Callback order matters and the trainer preserves list order; the stock
+ordering is probes -> journal -> early stopping -> checkpoint, so the
+journal sees every epoch *before* a stop decision and checkpoints capture
+the early-stopping counters *after* they were updated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Callback", "EarlyStopping", "ProbeCallback", "JournalCallback",
+           "CheckpointCallback", "StopAfter", "TrainingInterrupted"]
+
+
+class TrainingInterrupted(RuntimeError):
+    """Raised to abandon a run mid-training (checkpoint already on disk).
+
+    ``repro run --stop-after N`` raises this to drill the interrupt/resume
+    path; a resumed run must then reproduce the uninterrupted journal
+    bit-for-bit (modulo wall-clock fields).
+    """
+
+
+class Callback:
+    """Base class: all hooks are no-ops, subclass what you need."""
+
+    def on_train_begin(self, trainer) -> None:
+        """Called once before the first (or first resumed) epoch."""
+
+    def on_epoch_end(self, trainer, epoch: int) -> None:
+        """Called after every completed epoch (absolute index)."""
+
+    def on_train_end(self, trainer) -> None:
+        """Called once after the final epoch, inside the pipeline context."""
+
+
+class ProbeCallback(Callback):
+    """Append ``probe(method)``'s dict to ``history.probes`` each epoch."""
+
+    def __init__(self, probe: Callable):
+        self.probe = probe
+
+    def on_epoch_end(self, trainer, epoch: int) -> None:
+        trainer.history.probes.append(self.probe(trainer.method))
+
+
+class EarlyStopping(Callback):
+    """Stop when the epoch loss plateaus (same rule the old loop inlined).
+
+    Training halts once the loss has not improved by more than
+    ``min_delta`` for ``patience`` consecutive epochs.  The counters are
+    part of the checkpointable state so a resumed run continues the same
+    plateau count instead of resetting it.
+    """
+
+    def __init__(self, patience: int, min_delta: float = 1e-4):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_loss = float(np.inf)
+        self.stall = 0
+
+    def on_epoch_end(self, trainer, epoch: int) -> None:
+        loss = trainer.history.losses[-1]
+        if loss < self.best_loss - self.min_delta:
+            self.best_loss = loss
+            self.stall = 0
+        else:
+            self.stall += 1
+            if self.stall >= self.patience:
+                trainer.request_stop()
+
+    # -- checkpoint support -------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able counter state for the checkpoint."""
+        return {"best_loss": float(self.best_loss), "stall": self.stall}
+
+    def restore(self, state: dict) -> None:
+        """Reinstall counters captured by :meth:`snapshot`."""
+        self.best_loss = float(state["best_loss"])
+        self.stall = int(state["stall"])
+
+
+class JournalCallback(Callback):
+    """Stream per-epoch / spectrum / end-of-run events to a RunJournal.
+
+    The event schema is unchanged from the inlined era (see
+    ``docs/observability.md``); the ``config`` event is emitted separately
+    by :meth:`Trainer.log_config` so resumed runs can skip it.
+    """
+
+    def __init__(self, journal, spectrum_every: int | None = None):
+        self.journal = journal
+        self.spectrum_every = spectrum_every
+
+    def on_epoch_end(self, trainer, epoch: int) -> None:
+        history = trainer.history
+        record = {"epoch": epoch, "loss": history.losses[-1],
+                  "seconds": history.epoch_seconds[-1],
+                  **history.parts[-1], **trainer.last_throughput}
+        if history.grad_norms:
+            record["grad_norm"] = history.grad_norms[-1]
+        self.journal.log("epoch", **record)
+        if (self.spectrum_every
+                and (epoch + 1) % self.spectrum_every == 0
+                and epoch + 1 < trainer.epochs):
+            self._log_spectrum(trainer, epoch)
+
+    def on_train_end(self, trainer) -> None:
+        self._log_spectrum(trainer, trainer.epochs_run - 1)
+        if trainer.tracer.roots:
+            self.journal.log("trace", spans=trainer.tracer.snapshot())
+        if trainer.structure_cache is not None:
+            self.journal.log("metrics", **trainer.structure_cache.stats())
+        self.journal.log("engine", **trainer.engine.snapshot())
+        self.journal.log("run_end", epochs_run=trainer.epochs_run,
+                         final_loss=trainer.history.final_loss,
+                         total_seconds=trainer.history.total_seconds)
+
+    def _log_spectrum(self, trainer, epoch: int) -> None:
+        from ..core import effective_rank, num_collapsed_dimensions, \
+            singular_spectrum
+
+        embeddings = trainer.embed()
+        spectrum = singular_spectrum(embeddings)
+        self.journal.log(
+            "spectrum", epoch=epoch,
+            singular_values=[float(s) for s in spectrum],
+            effective_rank=effective_rank(embeddings),
+            collapsed_dims=num_collapsed_dimensions(embeddings, tol=1e-4),
+            embedding_dim=int(embeddings.shape[1]))
+
+
+class CheckpointCallback(Callback):
+    """Write a resumable :class:`repro.run.TrainState` every N epochs.
+
+    Runs *after* journal and early-stopping callbacks so the snapshot
+    contains this epoch's history entry and up-to-date plateau counters.
+    The final epoch always checkpoints, aligned or not, so a completed run
+    leaves a loadable terminal state behind.
+    """
+
+    def __init__(self, every: int, run_dir):
+        if every < 1:
+            raise ValueError(f"checkpoint every must be >= 1, got {every}")
+        self.every = every
+        self.run_dir = run_dir
+
+    def on_epoch_end(self, trainer, epoch: int) -> None:
+        done = epoch + 1
+        if (done % self.every == 0 or done >= trainer.epochs
+                or trainer.stop_requested):
+            trainer.save_checkpoint(self.run_dir, epoch)
+
+
+class StopAfter(Callback):
+    """Simulate an interruption after N epochs (for resume drills/CI).
+
+    Raises :class:`TrainingInterrupted` so the run tears down exactly like
+    a real kill: pipeline pools shut down, no end-of-run journal events are
+    written, and the latest checkpoint stays behind for ``resume``.
+    Registered after :class:`CheckpointCallback` so the checkpoint for the
+    interrupting epoch is already on disk.
+    """
+
+    def __init__(self, after_epochs: int):
+        if after_epochs < 1:
+            raise ValueError(
+                f"after_epochs must be >= 1, got {after_epochs}")
+        self.after_epochs = after_epochs
+
+    def on_epoch_end(self, trainer, epoch: int) -> None:
+        if epoch + 1 >= self.after_epochs:
+            raise TrainingInterrupted(
+                f"simulated interruption after epoch {epoch}")

@@ -1,0 +1,225 @@
+"""Config-driven experiment execution: build, run, evaluate, resume.
+
+This module turns a :class:`~repro.run.RunConfig` into a finished
+experiment: dataset loading, registry-based method construction, GradGCL
+wrapping, journal + checkpoint wiring, training via the unified
+:class:`~repro.run.Trainer`, and the level-appropriate evaluation
+protocol (SVM for graph embeddings, linear probe for node embeddings).
+
+``repro run`` calls :func:`execute_run` (or :func:`resume_run` with
+``--resume``); the legacy ``train-graph`` / ``train-node`` / ``sweep``
+subcommands are shims that construct the equivalent config and call the
+same entry points.  Heavy imports (datasets, methods, eval) happen inside
+functions so that importing :mod:`repro.run` stays light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .callbacks import StopAfter, TrainingInterrupted
+from .config import CONFIG_FILENAME, RunConfig
+from .registry import get_method
+from .state import TrainState
+
+__all__ = ["RunResult", "execute_run", "resume_run", "prepare_resume"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`execute_run` / :func:`resume_run` call."""
+
+    config: RunConfig                 # the resolved config that ran
+    history: object                   # TrainHistory (None when interrupted
+    #                                   before any epoch completed)
+    accuracy: float | None = None
+    accuracy_std: float | None = None
+    effective_rank: float | None = None   # graph-level runs only
+    interrupted: bool = False
+    journal_path: Path | None = None
+    saved_to: Path | None = None
+
+
+@dataclass
+class _RunContext:
+    """Everything a run needs between build and finish."""
+
+    config: RunConfig
+    trainer: object
+    method: object
+    dataset: object
+    journal: object | None
+
+
+def _build(config: RunConfig, *, append_journal: bool = False,
+           stop_after: int | None = None) -> _RunContext:
+    """Construct dataset, method, journal, and trainer from a config."""
+    from ..core import gradgcl
+    from ..obs import RunJournal
+    from ..pipeline import StructureCache
+    from ..utils.seed import seeded_rng
+    from .trainer import GraphSteps, NodeSteps, Trainer
+
+    config = config.resolve()
+    entry = get_method(config.method, config.level)
+    if config.level == "graph":
+        from ..datasets import load_tu_dataset
+
+        dataset = load_tu_dataset(config.dataset, scale=config.scale,
+                                  seed=config.seed)
+        strategy = GraphSteps(dataset.graphs, batch_size=config.batch_size,
+                              seed=config.seed)
+    else:
+        from ..datasets import load_node_dataset
+
+        dataset = load_node_dataset(config.dataset, scale=config.scale,
+                                    seed=config.seed)
+        strategy = NodeSteps(dataset.graph)
+    method = entry.build(dataset.num_features, rng=seeded_rng(config.seed),
+                         hidden_dim=config.hidden_dim,
+                         out_dim=config.out_dim,
+                         num_layers=config.num_layers)
+    if config.weight > 0:
+        method = gradgcl(method, config.weight)
+    journal = None
+    if config.run_dir is not None:
+        journal = RunJournal(config.run_dir, append=append_journal)
+    cache = (StructureCache(max_entries=config.cache_entries)
+             if config.cache else None)
+    callbacks = [StopAfter(stop_after)] if stop_after is not None else []
+    trainer = Trainer(method, strategy, epochs=config.epochs,
+                      lr=config.lr, weight_decay=config.weight_decay,
+                      grad_clip=config.grad_clip, patience=config.patience,
+                      min_delta=config.min_delta, journal=journal,
+                      spectrum_every=config.spectrum_every,
+                      workers=config.workers, structure_cache=cache,
+                      checkpoint_every=config.checkpoint_every,
+                      run_dir=config.run_dir,
+                      config_hash=config.config_hash(),
+                      callbacks=callbacks)
+    return _RunContext(config=config, trainer=trainer, method=method,
+                       dataset=dataset, journal=journal)
+
+
+def _finish(ctx: _RunContext) -> RunResult:
+    """Train (or continue training), evaluate, save, close the journal."""
+    config = ctx.config
+    journal_path = ctx.journal.path if ctx.journal is not None else None
+    try:
+        try:
+            history = ctx.trainer.fit()
+        except (TrainingInterrupted, KeyboardInterrupt):
+            # Torn down like a real kill: no end-of-run journal events.
+            # The latest checkpoint (if any) stays behind for --resume.
+            return RunResult(config=config, history=ctx.trainer.history,
+                             interrupted=True, journal_path=journal_path)
+        result = _evaluate(ctx, history)
+    finally:
+        if ctx.journal is not None:
+            ctx.journal.close()
+    if config.save:
+        from ..nn import save_module
+
+        # MVGRLNode exposes no ``.encoder``; fall back to the full module.
+        target = getattr(ctx.method, "encoder", ctx.method)
+        result.saved_to = save_module(target, config.save)
+    return result
+
+
+def _evaluate(ctx: _RunContext, history) -> RunResult:
+    """Level-appropriate downstream evaluation + journal ``eval`` event."""
+    config = ctx.config
+    method, dataset, journal = ctx.method, ctx.dataset, ctx.journal
+    journal_path = journal.path if journal is not None else None
+    if config.level == "graph":
+        from ..core import effective_rank
+        from ..eval import evaluate_graph_embeddings
+
+        embeddings = method.embed(dataset.graphs)
+        acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
+                                             seed=config.seed)
+        rank = effective_rank(embeddings)
+        if journal is not None:
+            journal.log("eval", dataset=config.dataset, accuracy=acc,
+                        accuracy_std=std, effective_rank=rank)
+        return RunResult(config=config, history=history, accuracy=acc,
+                         accuracy_std=std, effective_rank=rank,
+                         journal_path=journal_path)
+    from ..eval import evaluate_node_embeddings
+
+    acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
+                                        dataset.labels(),
+                                        dataset.train_mask,
+                                        dataset.test_mask,
+                                        seed=config.seed)
+    if journal is not None:
+        journal.log("eval", dataset=config.dataset, accuracy=acc,
+                    accuracy_std=std)
+    return RunResult(config=config, history=history, accuracy=acc,
+                     accuracy_std=std, journal_path=journal_path)
+
+
+def execute_run(config: RunConfig, *,
+                stop_after: int | None = None) -> RunResult:
+    """Run a config from scratch (the ``repro run`` entry point).
+
+    When the config names a ``run_dir``, the resolved config is persisted
+    there as ``config.json`` so the run can later be resumed (or simply
+    reproduced) from the directory alone.
+    """
+    config = config.resolve()
+    ctx = _build(config, stop_after=stop_after)
+    if config.run_dir is not None:
+        config.to_file(Path(config.run_dir) / CONFIG_FILENAME)
+    ctx.trainer.log_config(**config.journal_fields())
+    return _finish(ctx)
+
+
+def resume_run(run_dir: str | Path, *,
+               stop_after: int | None = None) -> RunResult:
+    """Continue an interrupted run from its directory.
+
+    Rebuilds everything from ``<run_dir>/config.json``, restores the
+    checkpoint, reopens the journal in append mode (the ``config`` event
+    is *not* re-emitted), and trains the remaining epochs — producing a
+    journal bit-identical (modulo wall-clock fields) to a run that was
+    never interrupted.
+    """
+    import dataclasses
+
+    run_dir = Path(run_dir)
+    config = RunConfig.from_file(run_dir / CONFIG_FILENAME)
+    # The directory may have moved since the run started; the passed path
+    # wins (run_dir is excluded from the config hash for this reason).
+    config = dataclasses.replace(config, run_dir=str(run_dir))
+    ctx = _build(config, append_journal=True, stop_after=stop_after)
+    state = TrainState.load(run_dir)
+    state.restore(ctx.trainer)
+    if ctx.trainer.start_epoch >= ctx.trainer.epochs:
+        raise ValueError(
+            f"run in {run_dir} already completed "
+            f"{ctx.trainer.start_epoch}/{ctx.trainer.epochs} epochs; "
+            "nothing to resume")
+    return _finish(ctx)
+
+
+def prepare_resume(run_dir: str | Path, **overrides):
+    """Restore a ready-to-``fit()`` trainer (``Trainer.resume`` backend).
+
+    ``overrides`` replace config fields (e.g. extend ``epochs``) before the
+    trainer is rebuilt; the checkpoint's config hash is only enforced when
+    no overrides are given, since overriding is an explicit opt-out.
+    """
+    import dataclasses
+
+    run_dir = Path(run_dir)
+    config = RunConfig.from_file(run_dir / CONFIG_FILENAME)
+    if overrides:
+        config = dataclasses.replace(config.resolve(), **overrides)
+    ctx = _build(config, append_journal=True)
+    state = TrainState.load(run_dir)
+    if overrides:
+        state.meta["config_hash"] = None
+    state.restore(ctx.trainer)
+    return ctx.trainer

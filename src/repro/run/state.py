@@ -1,0 +1,204 @@
+"""Checkpoint/resume snapshots for the unified :class:`~repro.run.Trainer`.
+
+A :class:`TrainState` is everything needed to continue a run **bit-
+identically**: module parameters, Adam moment buffers and step count,
+the loader / method RNG bit-generator states, the view generator's batch
+counter, method-specific schedule state (JOAO's augmentation distribution),
+early-stopping counters, engine telemetry counters, the full history, the
+completed-epoch count, and the run's config hash.
+
+On-disk format inside the run directory:
+
+* ``checkpoint.npz`` — all arrays: module parameters under their dotted
+  names plus Adam first/second moments under ``adam.m.<name>`` /
+  ``adam.v.<name>``;
+* ``checkpoint.json`` — everything else.  JSON is the right container
+  because PCG64 bit-generator states are 128-bit integers (JSON ints are
+  arbitrary precision) and Python floats survive a JSON round-trip exactly
+  (``repr`` emits the shortest round-tripping decimal).
+
+Both files are written atomically (temp file + ``os.replace``) so an
+interruption during checkpointing never leaves a torn snapshot behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["TrainState", "CHECKPOINT_ARRAYS", "CHECKPOINT_META"]
+
+CHECKPOINT_ARRAYS = "checkpoint.npz"
+CHECKPOINT_META = "checkpoint.json"
+
+_FORMAT_VERSION = 1
+_ADAM_M = "adam.m."
+_ADAM_V = "adam.v."
+_BUFFER = "buffer."
+
+
+def _rng_state(rng) -> dict | None:
+    """JSON-able bit-generator state of a numpy Generator (or None)."""
+    if rng is None:
+        return None
+    return rng.bit_generator.state
+
+
+@dataclass
+class TrainState:
+    """One resumable snapshot of a training run."""
+
+    epoch: int                      # epochs fully completed
+    arrays: dict                    # name -> np.ndarray (params + moments)
+    meta: dict                      # JSON-able remainder
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, trainer, epoch: int) -> "TrainState":
+        """Snapshot ``trainer`` after ``epoch`` epochs have completed.
+
+        Capturing performs no tensor ops and draws from no RNG, so taking
+        a checkpoint cannot perturb the run it is checkpointing.
+        """
+        method = trainer.method
+        optimizer = trainer.optimizer
+        arrays = dict(method.state_dict())
+        # Adam's _m/_v lists are index-aligned with optimizer.params,
+        # which is exactly named_parameters() order.
+        names = [name for name, _ in method.named_parameters()]
+        if len(names) != len(optimizer.params):
+            raise RuntimeError(
+                "optimizer/params mismatch: cannot name Adam moments")
+        for name, m, v in zip(names, optimizer._m, optimizer._v):
+            arrays[_ADAM_M + name] = m.copy()
+            arrays[_ADAM_V + name] = v.copy()
+        # Non-parameter training state (BatchNorm running statistics).
+        for name, value in method.buffers_dict().items():
+            arrays[_BUFFER + name] = value
+
+        generator = getattr(method, "view_generator", None)
+        meta = {
+            "format_version": _FORMAT_VERSION,
+            "epoch": int(epoch),
+            "config_hash": trainer.config_hash,
+            "adam_t": int(optimizer._t),
+            "adam_lr": float(optimizer.lr),
+            "loader_rng": trainer.strategy.rng_state(),
+            "method_rng": _rng_state(getattr(method, "_rng", None)),
+            "view_counter": (int(generator.counter)
+                             if generator is not None else None),
+            "view_root": (int(generator.root)
+                          if generator is not None else None),
+            "method_state": method.training_state(),
+            "history": trainer.history.to_dict(),
+            "engine": (trainer.engine.snapshot()
+                       if trainer.engine is not None else None),
+        }
+        early = trainer._early_stopping
+        meta["early_stopping"] = early.snapshot() if early else None
+        return cls(epoch=int(epoch), arrays=arrays, meta=meta)
+
+    # ------------------------------------------------------------------
+    # Disk round-trip
+    # ------------------------------------------------------------------
+    def save(self, run_dir: str | Path) -> Path:
+        """Atomically write both checkpoint files into ``run_dir``."""
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        tmp_arrays = run_dir / (CHECKPOINT_ARRAYS + ".tmp.npz")
+        np.savez(tmp_arrays, **self.arrays)
+        os.replace(tmp_arrays, run_dir / CHECKPOINT_ARRAYS)
+        tmp_meta = run_dir / (CHECKPOINT_META + ".tmp")
+        tmp_meta.write_text(json.dumps(self.meta, sort_keys=True) + "\n")
+        os.replace(tmp_meta, run_dir / CHECKPOINT_META)
+        return run_dir
+
+    @classmethod
+    def load(cls, run_dir: str | Path) -> "TrainState":
+        """Read a snapshot previously written by :meth:`save`."""
+        run_dir = Path(run_dir)
+        meta_path = run_dir / CHECKPOINT_META
+        if not meta_path.exists():
+            raise FileNotFoundError(
+                f"no checkpoint in {run_dir} (missing {CHECKPOINT_META}); "
+                "was the run started with checkpoint_every?")
+        meta = json.loads(meta_path.read_text())
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint format {version!r} "
+                f"(this build reads version {_FORMAT_VERSION})")
+        with np.load(run_dir / CHECKPOINT_ARRAYS) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        return cls(epoch=int(meta["epoch"]), arrays=arrays, meta=meta)
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def restore(self, trainer) -> None:
+        """Reinstall this snapshot into a freshly-built trainer.
+
+        The trainer must have been rebuilt from the *same* resolved config
+        (the stored config hash is checked), with method, strategy, and
+        optimizer freshly constructed — restore then overwrites every
+        piece of mutable training state so the next epoch proceeds exactly
+        as it would have in the uninterrupted run.
+        """
+        stored = self.meta.get("config_hash")
+        if (stored and trainer.config_hash
+                and stored != trainer.config_hash):
+            raise ValueError(
+                f"checkpoint config hash {stored} does not match the "
+                f"requested config {trainer.config_hash}; refusing to "
+                "resume under different hyperparameters")
+        method = trainer.method
+        optimizer = trainer.optimizer
+
+        params = {name: arr for name, arr in self.arrays.items()
+                  if not name.startswith((_ADAM_M, _ADAM_V, _BUFFER))}
+        method.load_state_dict(params)
+        method.load_buffers_dict(
+            {name[len(_BUFFER):]: arr for name, arr in self.arrays.items()
+             if name.startswith(_BUFFER)})
+        names = [name for name, _ in method.named_parameters()]
+        for i, name in enumerate(names):
+            optimizer._m[i][...] = self.arrays[_ADAM_M + name]
+            optimizer._v[i][...] = self.arrays[_ADAM_V + name]
+        optimizer._t = int(self.meta["adam_t"])
+        optimizer.lr = float(self.meta["adam_lr"])
+
+        trainer.strategy.set_rng_state(self.meta["loader_rng"])
+        method_rng = getattr(method, "_rng", None)
+        if self.meta["method_rng"] is not None:
+            if method_rng is None:
+                raise ValueError(
+                    "checkpoint carries a method RNG state but the rebuilt "
+                    "method has no _rng")
+            method_rng.bit_generator.state = self.meta["method_rng"]
+        generator = getattr(method, "view_generator", None)
+        if self.meta["view_counter"] is not None:
+            if generator is None:
+                raise ValueError(
+                    "checkpoint carries a view-generator counter but the "
+                    "rebuilt method has no view generator")
+            if self.meta["view_root"] != generator.root:
+                raise ValueError(
+                    "view-generator root mismatch: the rebuilt method's "
+                    "augmentation streams differ from the checkpointed run")
+            generator.counter = int(self.meta["view_counter"])
+        method.load_training_state(self.meta["method_state"] or {})
+
+        from .trainer import TrainHistory
+
+        trainer.history = TrainHistory.from_dict(self.meta["history"])
+        if trainer._early_stopping and self.meta["early_stopping"]:
+            trainer._early_stopping.restore(self.meta["early_stopping"])
+        trainer._engine_restore = self.meta["engine"]
+        trainer.start_epoch = self.epoch
+        trainer.epochs_run = self.epoch

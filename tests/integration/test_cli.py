@@ -1,8 +1,39 @@
 """Command-line interface smoke tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+#: One representative invocation per subcommand, with the parsed
+#: attribute values it must round-trip to.
+SUBCOMMAND_ARGS = {
+    "run": (["run", "--method", "SimGRACE", "--weight", "0.5",
+             "--epochs", "3", "--checkpoint-every", "2",
+             "--run-dir", "runs/x"],
+            {"method": "SimGRACE", "weight": 0.5, "epochs": 3,
+             "checkpoint_every": 2, "run_dir": "runs/x", "resume": None,
+             "list_methods": False}),
+    "datasets": (["datasets", "--family", "tu", "--scale", "tiny"],
+                 {"family": "tu", "scale": "tiny"}),
+    "train-graph": (["train-graph", "--method", "GraphCL",
+                     "--weight", "0.25", "--hidden-dim", "8"],
+                    {"method": "GraphCL", "weight": 0.25,
+                     "hidden_dim": 8, "epochs": 20}),
+    "train-node": (["train-node", "--method", "GRACE", "--out-dim", "8",
+                    "--save", "enc.npz"],
+                   {"method": "GRACE", "out_dim": 8, "save": "enc.npz",
+                    "epochs": 40}),
+    "spectrum": (["spectrum", "--dataset", "IMDB-B", "--weight", "0.5"],
+                 {"dataset": "IMDB-B", "weight": 0.5, "epochs": 60}),
+    "flow": (["flow", "--weight", "0.5", "--steps", "20"],
+             {"weight": 0.5, "steps": 20, "samples": 32}),
+    "sweep": (["sweep", "--method", "GraphCL", "--weights", "0.0", "0.5"],
+              {"method": "GraphCL", "weights": [0.0, 0.5], "epochs": 15}),
+    "report": (["report", "runs/x", "--spectrum-top", "4"],
+               {"run_dir": "runs/x", "spectrum_top": 4}),
+}
 
 
 class TestParser:
@@ -18,6 +49,33 @@ class TestParser:
     def test_rejects_unknown_method(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train-graph", "--method", "Nope"])
+
+    @pytest.mark.parametrize("command", sorted(SUBCOMMAND_ARGS))
+    def test_round_trip(self, command):
+        argv, expected = SUBCOMMAND_ARGS[command]
+        args = build_parser().parse_args(argv)
+        assert args.command == command
+        for attr, value in expected.items():
+            assert getattr(args, attr) == value, attr
+
+    def test_run_flags_default_to_none(self):
+        # ``repro run`` must distinguish "flag not passed" from "flag at
+        # its default" so config-file fields survive unless overridden.
+        args = build_parser().parse_args(["run"])
+        for attr in ("method", "dataset", "level", "scale", "weight",
+                     "epochs", "batch_size", "lr", "grad_clip", "patience",
+                     "seed", "hidden_dim", "out_dim", "layers", "workers",
+                     "run_dir", "checkpoint_every", "save"):
+            assert getattr(args, attr) is None, attr
+
+    def test_run_registry_choices(self):
+        from repro.run import method_names
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "Nope"])
+        # registry superset: RGCL and the pretrain baselines are runnable
+        for name in method_names():
+            build_parser().parse_args(["run", "--method", name])
 
 
 class TestCommands:
@@ -69,3 +127,48 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "a=0.0" in out and "a=0.5" in out
+
+
+class TestRunCommand:
+    def test_list_methods(self, capsys):
+        assert main(["run", "--list-methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("GraphCL", "SimGRACE", "RGCL", "GRACE", "DGI"):
+            assert name in out
+
+    def test_run_then_report_end_to_end(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(["run", "--method", "GraphCL", "--dataset", "MUTAG",
+                     "--scale", "tiny", "--weight", "0.5", "--epochs", "2",
+                     "--hidden-dim", "8", "--run-dir", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out and "effective-rank" in out
+        assert (run_dir / "config.json").exists()
+        assert main(["report", str(run_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "Run config" in report
+        assert "Epochs" in report
+        assert "Evaluation" in report
+
+    def test_run_from_config_file_with_override(self, tmp_path, capsys):
+        config_path = tmp_path / "config.json"
+        config_path.write_text(json.dumps(
+            {"method": "SimGRACE", "dataset": "MUTAG", "scale": "tiny",
+             "weight": 0.5, "epochs": 1, "hidden_dim": 8}))
+        assert main(["run", str(config_path), "--weight", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "SimGRACE(a=0.0)" in out
+
+    def test_run_stop_after_prints_resume_hint(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(["run", "--method", "GraphCL", "--dataset", "MUTAG",
+                     "--scale", "tiny", "--epochs", "4", "--hidden-dim",
+                     "8", "--checkpoint-every", "2", "--run-dir",
+                     str(run_dir), "--stop-after", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interrupted after 2/4 epochs" in out
+        assert "--resume" in out
+        assert main(["run", "--resume", str(run_dir)]) == 0
+        assert "accuracy" in capsys.readouterr().out

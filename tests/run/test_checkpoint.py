@@ -1,0 +1,175 @@
+"""Checkpoint/resume: bit-identical continuation of interrupted runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d
+from repro.obs import canonical_events
+from repro.run import (
+    CONFIG_FILENAME,
+    RunConfig,
+    TrainState,
+    Trainer,
+    execute_run,
+    resume_run,
+)
+
+
+def _journal_events(run_dir):
+    with (run_dir / "events.jsonl").open() as fh:
+        return [json.loads(line) for line in fh]
+
+
+def _graph_config(run_dir, **overrides) -> RunConfig:
+    fields = dict(method="GraphCL", dataset="MUTAG", scale="tiny",
+                  weight=0.5, epochs=4, seed=0, hidden_dim=8,
+                  checkpoint_every=2, run_dir=str(run_dir))
+    fields.update(overrides)
+    return RunConfig(**fields)
+
+
+def _resume_pair(tmp_path, make_config, stop_after=2):
+    """Run a config straight and interrupted+resumed; return both results."""
+    straight_dir = tmp_path / "straight"
+    resumed_dir = tmp_path / "resumed"
+    straight = execute_run(make_config(straight_dir))
+    interrupted = execute_run(make_config(resumed_dir),
+                              stop_after=stop_after)
+    assert interrupted.interrupted
+    assert len(interrupted.history.losses) == stop_after
+    resumed = resume_run(resumed_dir)
+    return straight, resumed, straight_dir, resumed_dir
+
+
+class TestGraphResume:
+    def test_bit_identical_losses_accuracy_and_journal(self, tmp_path):
+        straight, resumed, a_dir, b_dir = _resume_pair(
+            tmp_path, _graph_config)
+        assert resumed.history.losses == straight.history.losses
+        assert resumed.history.parts == straight.history.parts
+        assert resumed.history.grad_norms == straight.history.grad_norms
+        assert resumed.accuracy == straight.accuracy
+        assert resumed.accuracy_std == straight.accuracy_std
+        assert resumed.effective_rank == straight.effective_rank
+        a = canonical_events(_journal_events(a_dir))
+        b = canonical_events(_journal_events(b_dir))
+        assert a == b
+
+    def test_joao_schedule_survives_resume(self, tmp_path):
+        # JOAO's learned augmentation distribution is mutable training
+        # state; epochs 3-4 sample different augmentations if the
+        # probabilities reset on resume.
+        def config(run_dir):
+            return _graph_config(run_dir, method="JOAO")
+
+        straight, resumed, _, _ = _resume_pair(tmp_path, config)
+        assert resumed.history.losses == straight.history.losses
+        assert resumed.accuracy == straight.accuracy
+
+    def test_resume_completed_run_refuses(self, tmp_path):
+        run_dir = tmp_path / "done"
+        execute_run(_graph_config(run_dir))
+        with pytest.raises(ValueError, match="already completed"):
+            resume_run(run_dir)
+
+    def test_resume_unaligned_checkpoint_cadence(self, tmp_path):
+        # Interrupt at an epoch that is not a checkpoint multiple: resume
+        # rolls back to the last aligned snapshot (epoch 2) and replays
+        # epoch 3 deterministically, converging on the same losses.
+        def config(run_dir):
+            return _graph_config(run_dir, epochs=5, checkpoint_every=2)
+
+        straight, resumed, _, _ = _resume_pair(tmp_path, config,
+                                               stop_after=3)
+        assert resumed.history.losses == straight.history.losses
+
+
+class TestNodeResume:
+    def test_bit_identical_node_run(self, tmp_path):
+        def config(run_dir):
+            return RunConfig(method="GRACE", dataset="Cora", scale="tiny",
+                             weight=0.3, epochs=4, seed=0, hidden_dim=16,
+                             out_dim=8, checkpoint_every=2,
+                             run_dir=str(run_dir))
+
+        straight, resumed, a_dir, b_dir = _resume_pair(tmp_path, config)
+        assert resumed.history.losses == straight.history.losses
+        assert resumed.accuracy == straight.accuracy
+        a = canonical_events(_journal_events(a_dir))
+        b = canonical_events(_journal_events(b_dir))
+        assert a == b
+
+
+class TestTrainState:
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="checkpoint"):
+            TrainState.load(tmp_path)
+
+    def test_config_hash_mismatch_refuses(self, tmp_path):
+        run_dir = tmp_path / "run"
+        execute_run(_graph_config(run_dir), stop_after=2)
+        # Tamper with a hyperparameter: resuming must refuse.
+        config_path = run_dir / CONFIG_FILENAME
+        data = json.loads(config_path.read_text())
+        data["lr"] = 0.5
+        config_path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="config hash"):
+            resume_run(run_dir)
+
+    def test_trainer_resume_with_override(self, tmp_path):
+        # Extending epochs is an explicit opt-out of the hash check.
+        run_dir = tmp_path / "run"
+        execute_run(_graph_config(run_dir), stop_after=2)
+        trainer = Trainer.resume(run_dir, epochs=6)
+        assert trainer.start_epoch == 2
+        assert trainer.epochs == 6
+        history = trainer.fit()
+        assert len(history.losses) == 6
+
+    def test_checkpoint_files_written_atomically(self, tmp_path):
+        run_dir = tmp_path / "run"
+        execute_run(_graph_config(run_dir))
+        assert (run_dir / "checkpoint.npz").exists()
+        assert (run_dir / "checkpoint.json").exists()
+        assert not list(run_dir.glob("*.tmp*"))
+        state = TrainState.load(run_dir)
+        assert state.epoch == 4
+        assert any(name.startswith("adam.m.") for name in state.arrays)
+
+    def test_unsupported_format_version(self, tmp_path):
+        run_dir = tmp_path / "run"
+        execute_run(_graph_config(run_dir), stop_after=2)
+        meta_path = run_dir / "checkpoint.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format"):
+            TrainState.load(run_dir)
+
+
+class TestModuleBuffers:
+    """BatchNorm running statistics are checkpointed via the buffer
+    protocol — they are not Parameters but eval-mode forwards read them."""
+
+    def test_buffers_round_trip(self):
+        bn = BatchNorm1d(4)
+        bn.running_mean[:] = [1.0, 2.0, 3.0, 4.0]
+        bn.running_var[:] = [0.5, 0.5, 2.0, 2.0]
+        captured = bn.buffers_dict()
+        fresh = BatchNorm1d(4)
+        fresh.load_buffers_dict(captured)
+        np.testing.assert_array_equal(fresh.running_mean, bn.running_mean)
+        np.testing.assert_array_equal(fresh.running_var, bn.running_var)
+
+    def test_buffers_are_copies(self):
+        bn = BatchNorm1d(2)
+        captured = bn.buffers_dict()
+        bn.running_mean[:] = 7.0
+        assert captured["running_mean"][0] == 0.0
+
+    def test_load_rejects_mismatched_names(self):
+        bn = BatchNorm1d(2)
+        with pytest.raises(KeyError, match="running_var"):
+            bn.load_buffers_dict({"running_mean": np.zeros(2)})

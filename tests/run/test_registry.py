@@ -1,0 +1,116 @@
+"""Method registry: lookup, level inference, signature-aware build."""
+
+import numpy as np
+import pytest
+
+from repro.run import (
+    MethodEntry,
+    get_method,
+    list_methods,
+    method_levels,
+    method_names,
+    register_method,
+)
+
+
+class TestEnumeration:
+    def test_at_least_thirteen_methods(self):
+        assert len(method_names()) >= 13
+
+    def test_expected_names_present(self):
+        names = set(method_names())
+        for expected in ("GraphCL", "SimGRACE", "JOAO", "RGCL", "GRACE",
+                         "BGRL", "DGI", "MVGRL", "GraphMAE"):
+            assert expected in names
+
+    def test_level_filtering(self):
+        graph = set(method_names("graph"))
+        node = set(method_names("node"))
+        assert "RGCL" in graph and "RGCL" not in node
+        assert "DGI" in node and "DGI" not in graph
+        assert "MVGRL" in graph and "MVGRL" in node
+
+    def test_list_methods_sorted_entries(self):
+        entries = list_methods()
+        assert all(isinstance(e, MethodEntry) for e in entries)
+        keys = [(e.name, e.level) for e in entries]
+        assert keys == sorted(keys)
+
+    def test_describe_rows(self):
+        entry = get_method("GraphCL", "graph")
+        row = entry.describe()
+        assert row["name"] == "GraphCL"
+        assert row["level"] == "graph"
+        assert row["class"] == "GraphCL"
+        assert "hidden_dim" in row["params"]
+        assert row["summary"]
+
+    def test_method_levels(self):
+        assert method_levels("MVGRL") == ["graph", "node"]
+        assert method_levels("RGCL") == ["graph"]
+        assert method_levels("NotAMethod") == []
+
+
+class TestLookup:
+    def test_infers_unambiguous_level(self):
+        assert get_method("GraphCL").level == "graph"
+        assert get_method("DGI").level == "node"
+
+    def test_ambiguous_name_requires_level(self):
+        with pytest.raises(ValueError, match="levels"):
+            get_method("MVGRL")
+        assert get_method("MVGRL", "node").cls.__name__ == "MVGRLNode"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="GraphCL"):
+            get_method("Nope")
+        with pytest.raises(KeyError, match="unknown graph-level"):
+            get_method("GRACE", "graph")
+
+
+class TestBuild:
+    def test_builds_with_standard_kwargs(self):
+        entry = get_method("GraphCL", "graph")
+        method = entry.build(4, rng=np.random.default_rng(0),
+                             hidden_dim=8, num_layers=2)
+        assert type(method).__name__ == "GraphCL"
+
+    def test_drops_unaccepted_standard_kwargs(self):
+        # MVGRLNode takes no out_dim; the standard keyword is dropped
+        # silently instead of exploding mid-config.
+        entry = get_method("MVGRL", "node")
+        method = entry.build(4, rng=np.random.default_rng(0),
+                             hidden_dim=8, out_dim=16)
+        assert type(method).__name__ == "MVGRLNode"
+
+    def test_rejects_unknown_kwargs_with_accepted_list(self):
+        entry = get_method("GraphCL", "graph")
+        with pytest.raises(TypeError, match="hidden_dim"):
+            entry.build(4, rng=np.random.default_rng(0), bogus_knob=3)
+
+    def test_none_values_fall_through_to_defaults(self):
+        entry = get_method("GraphCL", "graph")
+        method = entry.build(4, rng=np.random.default_rng(0),
+                             hidden_dim=None, num_layers=None)
+        assert type(method).__name__ == "GraphCL"
+
+    def test_varargs_subclass_inherits_base_signature(self):
+        # JOAO.__init__ forwards *args/**kwargs to GraphCL; the registry
+        # unions the MRO so the inherited keywords are still accepted.
+        entry = get_method("JOAO", "graph")
+        assert "hidden_dim" in entry.accepts
+        assert "num_layers" in entry.accepts
+
+
+class TestRegistration:
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError, match="level"):
+            register_method("Thing", level="cluster")
+
+    def test_rejects_conflicting_reregistration(self):
+        class Impostor:
+            def __init__(self, num_features, *, rng):
+                pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_method("GraphCL", level="graph")(Impostor)

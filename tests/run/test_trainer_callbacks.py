@@ -1,0 +1,162 @@
+"""Unified Trainer: callback protocol, step strategies, wrapper parity."""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_node_dataset, load_tu_dataset
+from repro.methods import GRACE, GraphCL, train_graph_method, \
+    train_node_method
+from repro.run import Callback, EarlyStopping, GraphSteps, NodeSteps, \
+    ProbeCallback, Trainer
+
+
+@pytest.fixture(scope="module")
+def graph_dataset():
+    return load_tu_dataset("MUTAG", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def node_dataset():
+    return load_node_dataset("Cora", scale="tiny", seed=0)
+
+
+def _graph_method(dataset, seed=0):
+    return GraphCL(dataset.num_features, 8, 2,
+                   rng=np.random.default_rng(seed))
+
+
+class RecordingCallback(Callback):
+    def __init__(self):
+        self.calls = []
+
+    def on_train_begin(self, trainer):
+        self.calls.append("begin")
+
+    def on_epoch_end(self, trainer, epoch):
+        self.calls.append(("epoch", epoch))
+
+    def on_train_end(self, trainer):
+        self.calls.append("end")
+
+
+class TestCallbackProtocol:
+    def test_hooks_fire_in_order(self, graph_dataset):
+        recorder = RecordingCallback()
+        method = _graph_method(graph_dataset)
+        trainer = Trainer(method, GraphSteps(graph_dataset.graphs,
+                                             batch_size=16, seed=0),
+                          epochs=2, callbacks=[recorder])
+        trainer.fit()
+        assert recorder.calls == ["begin", ("epoch", 0), ("epoch", 1),
+                                  "end"]
+
+    def test_request_stop_ends_training(self, graph_dataset):
+        class StopAtFirst(Callback):
+            def on_epoch_end(self, trainer, epoch):
+                trainer.request_stop()
+
+        method = _graph_method(graph_dataset)
+        trainer = Trainer(method, GraphSteps(graph_dataset.graphs,
+                                             batch_size=16, seed=0),
+                          epochs=10, callbacks=[StopAtFirst()])
+        history = trainer.fit()
+        assert len(history.losses) == 1
+        assert trainer.epochs_run == 1
+
+    def test_find_callback(self, graph_dataset):
+        method = _graph_method(graph_dataset)
+        trainer = Trainer(method, GraphSteps(graph_dataset.graphs,
+                                             batch_size=16, seed=0),
+                          epochs=1, patience=3,
+                          probe=lambda m: {"x": 1.0})
+        assert isinstance(trainer.find_callback(EarlyStopping),
+                          EarlyStopping)
+        assert isinstance(trainer.find_callback(ProbeCallback),
+                          ProbeCallback)
+        assert trainer.find_callback(RecordingCallback) is None
+
+    def test_probe_records_each_epoch(self, graph_dataset):
+        method = _graph_method(graph_dataset)
+        trainer = Trainer(method, GraphSteps(graph_dataset.graphs,
+                                             batch_size=16, seed=0),
+                          epochs=2, probe=lambda m: {"n": m.num_parameters()})
+        history = trainer.fit()
+        assert len(history.probes) == 2
+
+    def test_early_stopping_validation(self):
+        with pytest.raises(ValueError, match="patience"):
+            EarlyStopping(patience=0)
+
+    def test_epochs_validation(self, graph_dataset):
+        method = _graph_method(graph_dataset)
+        with pytest.raises(ValueError, match="epochs"):
+            Trainer(method, GraphSteps(graph_dataset.graphs), epochs=0)
+
+
+class TestNodeStrategy:
+    def test_node_early_stopping(self, node_dataset):
+        # Regression: the old node loop had no early stopping at all.
+        # A huge min_delta means "never improves" after the first epoch
+        # sets the best loss -> stop after 1 + patience epochs.
+        method = GRACE(node_dataset.num_features, 16, 8,
+                       rng=np.random.default_rng(0))
+        history = train_node_method(method, node_dataset.graph, epochs=30,
+                                    patience=2, min_delta=100.0)
+        assert len(history.losses) == 3
+
+    def test_node_runs_full_without_patience(self, node_dataset):
+        method = GRACE(node_dataset.num_features, 16, 8,
+                       rng=np.random.default_rng(0))
+        history = train_node_method(method, node_dataset.graph, epochs=3)
+        assert len(history.losses) == 3
+
+    def test_node_strategy_forces_serial_pipeline(self, node_dataset):
+        method = GRACE(node_dataset.num_features, 16, 8,
+                       rng=np.random.default_rng(0))
+        trainer = Trainer(method, NodeSteps(node_dataset.graph), epochs=1,
+                          workers=4, prefetch=True)
+        assert trainer.workers == 0
+        assert trainer.prefetch is False
+
+    def test_node_parts_keys_sorted(self, node_dataset):
+        from repro.core import gradgcl
+
+        method = gradgcl(GRACE(node_dataset.num_features, 16, 8,
+                               rng=np.random.default_rng(0)), 0.3)
+        history = train_node_method(method, node_dataset.graph, epochs=1)
+        assert list(history.parts[0]) == sorted(history.parts[0])
+
+
+class TestWrapperParity:
+    """The legacy wrappers stay thin and signature-stable."""
+
+    def test_graph_wrapper_signature(self):
+        params = inspect.signature(train_graph_method).parameters
+        defaults = {name: p.default for name, p in params.items()}
+        assert defaults["epochs"] == 20
+        assert defaults["batch_size"] == 64
+        assert defaults["lr"] == pytest.approx(1e-3)
+        assert defaults["seed"] == 0
+        assert defaults["grad_clip"] is None
+        assert defaults["patience"] is None
+
+    def test_node_wrapper_signature(self):
+        params = inspect.signature(train_node_method).parameters
+        defaults = {name: p.default for name, p in params.items()}
+        assert defaults["epochs"] == 50
+        assert defaults["lr"] == pytest.approx(1e-3)
+        assert defaults["patience"] is None
+        assert defaults["min_delta"] == pytest.approx(1e-4)
+
+    def test_wrapper_matches_direct_trainer(self, graph_dataset):
+        wrapped = train_graph_method(
+            _graph_method(graph_dataset), graph_dataset.graphs, epochs=2,
+            batch_size=16, seed=0)
+        trainer = Trainer(_graph_method(graph_dataset),
+                          GraphSteps(graph_dataset.graphs, batch_size=16,
+                                     seed=0), epochs=2)
+        direct = trainer.fit()
+        assert wrapped.losses == direct.losses
+        assert wrapped.parts == direct.parts

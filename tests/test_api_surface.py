@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.datasets",
     "repro.eval",
     "repro.utils",
+    "repro.run",
 ]
 
 
