@@ -5,7 +5,7 @@
 # ROADMAP.md exactly.
 
 .PHONY: install test test-fast test-all ci lint bench bench-small \
-        bench-tensor bench-pipeline check-perf examples clean
+        bench-tensor bench-pipeline bench-eval check-perf examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -42,6 +42,9 @@ bench-tensor:
 
 bench-pipeline:
 	PYTHONPATH=src python -m benchmarks.bench_pipeline
+
+bench-eval:
+	PYTHONPATH=src python -m benchmarks.bench_eval
 
 check-perf:
 	PYTHONPATH=src python scripts/check_perf.py

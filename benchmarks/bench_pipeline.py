@@ -11,7 +11,9 @@ Three measurements on the same protocol as ``bench_tensor_ops``
   multiprocessing pool, and prefetch double-buffering.  Parallel speedup
   only materializes with real cores, so ``cpu_count`` is recorded in the
   payload and ``scripts/check_perf.py`` conditions its workers-4 criterion
-  on it.
+  on it; on a single-core box the payload additionally carries a
+  ``parallel_note`` spelling out that sub-1x worker numbers measure fork
+  overhead, not a pipeline regression.
 * **MVGRL cold vs warm structure cache** — the PPR diffusion dominates an
   MVGRL epoch; with a persistent cache every epoch after the first reuses
   the factorized diffusion, so the warm-epoch median collapses.
@@ -118,6 +120,11 @@ def main() -> dict:
         "graphcl": run_graphcl(),
         "mvgrl": run_mvgrl(),
     }
+    if payload["cpu_count"] == 1:
+        payload["parallel_note"] = (
+            "single-core box: workers_2/workers_4 measure fork overhead, "
+            "not parallel capacity; scripts/check_perf.py skips the "
+            "parallel-speedup floor for this baseline")
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     for section in ("graphcl", "mvgrl"):
         for name, entry in payload[section].items():
@@ -126,6 +133,8 @@ def main() -> dict:
             print(f"{section}/{name:16s} "
                   f"median={entry['median_epoch_seconds']:.4f}s "
                   f"speedup={speedup:.2f}x")
+    if "parallel_note" in payload:
+        print(f"note: {payload['parallel_note']}")
     print(f"wrote {RESULT_PATH} (cpu_count={payload['cpu_count']})")
     return payload
 

@@ -16,6 +16,16 @@ Two checks, both run by CI tier (d):
   >=1.3x faster than serial.  Static because the committed JSON records
   the machine it was measured on; rerunning on a differently-sized box
   would gate on hardware, not code.
+* **Evaluation acceptance** — static validation of the committed
+  ``BENCH_eval.json`` (``benchmarks/bench_eval.py``): every recorded
+  fast-vs-reference equivalence boolean must be true (the engines return
+  bit-identical ``(mean, std)``), the fast engine must hold its serial
+  speedup floors over the reference per-fold path (SVM >=2x, logistic
+  >=1.5x), and — under the same ``cpu_count`` condition as the pipeline
+  floor — the parallel SVM protocol at ``eval_workers=2`` must reach the
+  3x target.  On a single-core baseline the parallel floor is skipped
+  with the payload's ``parallel_note`` annotation; the serial floors
+  still gate.
 
 By default the exit code is always 0 — wall-clock on a developer's shared
 box is too noisy for a hard local gate, but the warning makes regressions
@@ -38,12 +48,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "BENCH_tensor.json"
 PIPELINE_BASELINE = REPO_ROOT / "BENCH_pipeline.json"
+EVAL_BASELINE = REPO_ROOT / "BENCH_eval.json"
 REGRESSION_THRESHOLD = 0.20
 
 # Acceptance floors for the input-pipeline benchmarks.
 MVGRL_WARM_MIN_SPEEDUP = 2.0
 WORKERS4_MIN_SPEEDUP = 1.3
 SERIAL_MAX_REGRESSION = 1.15
+
+# Acceptance floors for the evaluation engine (fast vs reference path).
+EVAL_SERIAL_MIN_SPEEDUP = {"svm": 2.0, "logreg": 1.5}
+EVAL_PARALLEL_MIN_SPEEDUP = 3.0
 
 sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -105,6 +120,36 @@ def check_pipeline_baseline() -> int:
     return failures
 
 
+def check_eval_baseline() -> int:
+    """Validate BENCH_eval.json acceptance floors; return failure count."""
+    payload = json.loads(EVAL_BASELINE.read_text())
+    cpu_count = payload.get("cpu_count") or 1
+    failures = 0
+
+    for name, identical in payload["equivalence"].items():
+        status = "ok" if identical else "FAIL"
+        failures += status == "FAIL"
+        print(f"{f'eval equiv {name}':24s} identical={identical}  {status}")
+
+    for classifier, floor in EVAL_SERIAL_MIN_SPEEDUP.items():
+        serial = payload[classifier]["fast_serial"]["speedup_vs_reference"]
+        status = "ok" if serial >= floor else "FAIL"
+        failures += status == "FAIL"
+        print(f"{f'eval {classifier} serial':24s} speedup={serial:.2f}x "
+              f"(floor {floor:.1f}x)  {status}")
+
+    par = payload["svm"]["fast_workers_2"]["speedup_vs_reference"]
+    if cpu_count > 1:
+        status = "ok" if par >= EVAL_PARALLEL_MIN_SPEEDUP else "FAIL"
+        failures += status == "FAIL"
+        print(f"{'eval svm workers=2':24s} speedup={par:.2f}x "
+              f"(floor {EVAL_PARALLEL_MIN_SPEEDUP:.1f}x)  {status}")
+    else:
+        print(f"{'eval svm workers=2':24s} speedup={par:.2f}x "
+              f"(skipped: baseline recorded on cpu_count={cpu_count})")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--strict", action="store_true",
@@ -116,7 +161,8 @@ def main(argv=None) -> int:
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
     for path, regen in ((BASELINE, "bench_tensor_ops"),
-                        (PIPELINE_BASELINE, "bench_pipeline")):
+                        (PIPELINE_BASELINE, "bench_pipeline"),
+                        (EVAL_BASELINE, "bench_eval")):
         if not path.exists():
             print(f"no baseline at {path}; run "
                   f"`PYTHONPATH=src python -m benchmarks.{regen}` first")
@@ -125,10 +171,13 @@ def main(argv=None) -> int:
     warnings = check_microbenches(args.threshold)
     print()
     failures = check_pipeline_baseline()
+    print()
+    failures += check_eval_baseline()
 
     if failures:
-        print(f"\n{failures} pipeline acceptance floor(s) violated in "
-              f"{PIPELINE_BASELINE.name} — regenerate or fix the pipeline")
+        print(f"\n{failures} acceptance floor(s) violated in "
+              f"{PIPELINE_BASELINE.name} / {EVAL_BASELINE.name} — "
+              "regenerate or fix the regression")
         return 1
     if warnings:
         mode = ("failing the build (--strict)" if args.strict
@@ -137,7 +186,7 @@ def main(argv=None) -> int:
               f"{args.threshold:.0%} — investigate before merging ({mode})")
         return 1 if args.strict else 0
     print("\nall perf gates green: tensor microbenches within threshold, "
-          "pipeline acceptance floors met")
+          "pipeline and evaluation acceptance floors met")
     return 0
 
 

@@ -20,7 +20,9 @@ Tiers run in order and the gate stops at the first failure:
   ``repro run --resume`` — canonicalized journals must be identical.
 * **d — perf**: ``scripts/check_perf.py --strict``, the fused-kernel
   microbenchmarks against the committed ``BENCH_tensor.json`` baseline
-  (fails on >20% regression).
+  (fails on >20% regression) plus the static acceptance floors of
+  ``BENCH_pipeline.json`` and ``BENCH_eval.json`` (pipeline/evaluation
+  speedups and fast-vs-reference equivalence).
 
 Usage::
 
@@ -216,7 +218,7 @@ def _resume_smoke(tmp: str) -> int:
 
 
 def tier_d_perf() -> int:
-    """Strict fused-kernel perf gate against the committed baseline."""
+    """Strict perf gate: microbenches + pipeline/eval acceptance floors."""
     return _run([sys.executable, "scripts/check_perf.py", "--strict"])
 
 

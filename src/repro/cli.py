@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--workers", type=int, default=None,
                     help="augmentation worker processes (default: "
                          "REPRO_WORKERS or 0 = serial)")
+    rn.add_argument("--eval-workers", type=int, default=None,
+                    help="evaluation worker processes for parallel "
+                         "cross-validation; results are identical at "
+                         "every count (default: REPRO_EVAL_WORKERS or "
+                         "0 = serial)")
     rn.add_argument("--run-dir", default=None,
                     help="journal + config + checkpoint directory")
     rn.add_argument("--spectrum-every", type=int, default=None)
@@ -209,6 +214,7 @@ _RUN_CONFIG_FLAGS = {
     "patience": "patience", "min_delta": "min_delta", "seed": "seed",
     "hidden_dim": "hidden_dim",
     "out_dim": "out_dim", "layers": "num_layers", "workers": "workers",
+    "eval_workers": "eval_workers",
     "cache_entries": "cache_entries", "run_dir": "run_dir",
     "spectrum_every": "spectrum_every",
     "checkpoint_every": "checkpoint_every", "save": "save",

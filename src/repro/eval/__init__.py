@@ -6,11 +6,21 @@ from .classifiers import (
     SGDClassifier,
     make_classifier,
 )
+from .engine import (
+    EvalStats,
+    fast_evaluate_graph,
+    fast_evaluate_node,
+    lockstep_available,
+    resolve_eval_workers,
+)
+from .folds import FoldPlan, plan_folds, streaming_train_stats
 from .metrics import accuracy, macro_f1, mean_std, roc_auc
 from .protocol import (
     evaluate_graph_embeddings,
     evaluate_node_embeddings,
+    fast_eval_enabled,
     kfold_indices,
+    last_eval_stats,
     standardize,
 )
 from .similarity import (
@@ -26,7 +36,10 @@ __all__ = [
     "make_classifier",
     "accuracy", "macro_f1", "roc_auc", "mean_std",
     "standardize", "kfold_indices", "evaluate_graph_embeddings",
-    "evaluate_node_embeddings",
+    "evaluate_node_embeddings", "fast_eval_enabled", "last_eval_stats",
+    "EvalStats", "fast_evaluate_graph", "fast_evaluate_node",
+    "lockstep_available", "resolve_eval_workers",
+    "FoldPlan", "plan_folds", "streaming_train_stats",
     "cosine_similarity", "sorted_similarity_matrix", "similarity_diversity",
     "intra_inter_class_similarity",
     "tsne",

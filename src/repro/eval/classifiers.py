@@ -43,11 +43,10 @@ class _LinearModel:
     def _prepare(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y)
-        self.classes_ = np.unique(y)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
         if len(self.classes_) < 2:
             raise ValueError("need at least two classes to fit")
-        index_of = {c: i for i, c in enumerate(self.classes_)}
-        return np.array([index_of[v] for v in y], dtype=np.int64)
+        return y_idx.astype(np.int64, copy=False)
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:
         if self.weight is None:

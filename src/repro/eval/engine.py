@@ -1,0 +1,763 @@
+"""Fast evaluation engine: lockstep fold solves with an equivalence guard.
+
+The reference protocol (:mod:`repro.eval.protocol`) runs one scipy
+L-BFGS fit per (repeat, fold) cell — 50 serial solver calls for the
+paper's 10-fold x 5-repeat graph protocol, each over a freshly
+concatenated, freshly standardized copy of the training split.  This
+module returns identical ``(mean, std)`` results several times faster:
+
+Streaming fold statistics
+    Each repeat's per-fold standardization comes from
+    :mod:`repro.eval.folds`: global column sums minus the held-out
+    fold's sums, never re-reducing the other folds' rows.  Training
+    splits are materialized once per cell straight into the solver's
+    input buffer instead of the reference's concatenate-then-scale
+    double copy.
+
+Lockstep fold solves
+    A fold's accuracy depends on scipy's *under-converged* L-BFGS
+    endpoint (200 iterations), so a different solver trajectory is not
+    an option.  The engine drives one reverse-communication
+    ``setulb`` instance per fold — the exact routine, constants, and
+    iteration policy behind ``optimize.minimize(method="L-BFGS-B")`` —
+    and answers all pending (loss, gradient) requests per round with
+    fused batched kernels: per-fold bias-augmented GEMMs over shared
+    weight/gradient matrices plus one batched elementwise pass for the
+    loss chain (squared hinge for the SVM, stabilized softmax for the
+    logistic probe).  The trajectory matches the reference's to
+    floating-point roundoff (the kernels are mathematically equal but
+    associate differently), which the margin guard below turns into
+    equal protocol results.
+
+Margin guard + exact fallback
+    Reproduced fold weights sit within ~1e-12 of the reference's, so a
+    prediction can only differ where a test sample's top-2 score gap is
+    of that order.  Every fold's minimum gap is checked against
+    ``REPRO_EVAL_GUARD`` (default 1e-6 for the lockstep SVM, 1e-2 for
+    the re-solved logistic probes); folds below it — none in practice —
+    are re-fit on the exact reference path.  Folds whose training split
+    misses a global class (the reference would fit a smaller
+    classifier) take the same fallback.
+
+Joint logistic solves
+    The node protocol's probe repeats share one embedding matrix and
+    train/test rows, so they stack into a single joint objective
+    evaluated through one fused matmul over the raw embeddings, with
+    each repeat's streaming mean/std folded into its weight columns.
+    The joint solve converges tightly (a *converged* softmax minimizer
+    is trajectory-independent up to ~1e-3, unlike the fold solves
+    above) and a wider margin guard arbitrates.  It also backs the
+    graph logistic folds if the lockstep driver is ever unavailable.
+
+Parallel cross-validation
+    The parallel unit is one repeat, fanned out through
+    :func:`repro.pipeline.fork_map`.  Each repeat derives its RNG from
+    the cell index alone (``seeded_rng(seed + repeat)``, the
+    reference's own scheme) and every batched kernel operates
+    slice-per-fold, so grouping does not perturb any fold's trajectory:
+    results are bit-identical at every ``eval_workers`` setting.
+
+The SGD classifier's trajectory depends on every minibatch draw, so its
+folds keep the exact reference arithmetic — parallel repeats are its
+only speedup.  :class:`EvalStats` records solver/fallback/skip counts
+and timings for the run journal and ``repro report``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from scipy import optimize
+
+try:  # scipy's private L-BFGS-B core; probed before use, never required
+    from scipy.optimize import _lbfgsb as _lbfgsb_core
+except ImportError:  # pragma: no cover - scipy always ships it today
+    _lbfgsb_core = None
+
+from ..obs.tracing import trace
+from ..pipeline.pool import fork_map, map_context
+from ..utils.seed import seeded_rng
+from .classifiers import make_classifier
+from .folds import FoldPlan, plan_folds
+from .metrics import accuracy, mean_std
+from .protocol import kfold_indices, standardize
+
+__all__ = ["EvalStats", "fast_evaluate_graph", "fast_evaluate_node",
+           "guard_tau", "lockstep_available", "resolve_eval_workers"]
+
+#: Tight convergence for the joint logistic solve: the batched solution
+#: must sit close enough to the true minimizer that the margin guard's
+#: threshold dominates the reference's own solution error.
+_TIGHT_OPTIONS = {"ftol": 1e-14, "gtol": 1e-10}
+
+#: Margin-guard defaults per solver family.  The lockstep reproduces the
+#: reference trajectory to ~1e-12 in the weights, so 1e-6 leaves six
+#: orders of slack; the re-solved logistic probes (joint solve) deviate
+#: up to ~1e-3 from the reference's under-converged endpoint, hence the
+#: wider 1e-2.
+_GUARD_DEFAULTS = {"lockstep": 1e-6, "logreg": 1e-2}
+
+# Constants scipy's minimize(method="L-BFGS-B") passes to setulb for the
+# options the reference leaves at their defaults (maxiter is per fold).
+_LBFGS_M = 10
+_LBFGS_FACTR = 2.2204460492503131e-09 / np.finfo(np.float64).eps
+_LBFGS_PGTOL = 1e-5
+_LBFGS_MAXLS = 20
+_LBFGS_MAXFUN = 15000
+
+
+def guard_tau(kind: str = "logreg") -> float:
+    """Margin-guard threshold (``REPRO_EVAL_GUARD`` env, else per-kind).
+
+    Folds whose minimum top-2 test-score gap falls below this are re-fit
+    on the exact reference path.  ``kind`` is the solver family
+    (``"lockstep"`` or ``"logreg"`` for the joint solve) — the default
+    depends on how closely that solver tracks the reference (see
+    :data:`_GUARD_DEFAULTS`); the environment override applies to every
+    family at once.
+    """
+    env = os.environ.get("REPRO_EVAL_GUARD")
+    if env is not None:
+        return float(env)
+    return _GUARD_DEFAULTS.get(kind, _GUARD_DEFAULTS["logreg"])
+
+
+def resolve_eval_workers(workers: int | None = None) -> int:
+    """Eval worker count: explicit, else ``REPRO_EVAL_WORKERS``, else 0."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_EVAL_WORKERS", "0"))
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"eval workers must be >= 0, got {workers}")
+    return workers
+
+
+@dataclass
+class EvalStats:
+    """Telemetry from one protocol evaluation (fast or reference path)."""
+
+    seconds: float = 0.0
+    solver: str = "lockstep"      # lockstep | batched | reference | sgd
+    workers: int = 0
+    repeats: int = 0
+    folds_total: int = 0
+    folds_batched: int = 0        # solved by the lockstep / joint pass
+    folds_fallback: int = 0       # margin-guard / coverage re-fits
+    folds_skipped: int = 0        # degenerate folds the protocol drops
+    fit_iterations: int = 0       # total L-BFGS iterations across solves
+    repeat_seconds: tuple = field(default_factory=tuple)
+
+    def to_fields(self) -> dict:
+        """Flat journal-friendly dict (floats rounded for readability)."""
+        fields = {
+            "eval_seconds": round(self.seconds, 4),
+            "eval_solver": self.solver,
+            "eval_workers": self.workers,
+            "eval_repeats": self.repeats,
+            "eval_folds": self.folds_total,
+            "eval_folds_batched": self.folds_batched,
+            "eval_folds_fallback": self.folds_fallback,
+            "eval_folds_skipped": self.folds_skipped,
+            "eval_fit_iterations": self.fit_iterations,
+        }
+        if self.repeat_seconds:
+            fields["eval_repeat_seconds"] = list(self.repeat_seconds)
+        return fields
+
+
+# ----------------------------------------------------------------------
+# Lockstep L-BFGS-B driver
+# ----------------------------------------------------------------------
+class _LBFGSInstance:
+    """One reverse-communication L-BFGS-B solve over shared state rows.
+
+    ``x_row`` and ``g_row`` are row views into the lockstep's shared
+    parameter/gradient matrices; ``setulb`` updates the parameters in
+    place, and the batched kernels overwrite the gradient rows, exactly
+    mirroring scipy's rebinding of ``g`` on every objective call.
+    """
+
+    __slots__ = ("x", "f", "g", "low", "up", "nbd", "wa", "iwa", "task",
+                 "ln_task", "lsave", "isave", "dsave", "nfev", "nit",
+                 "max_iter")
+
+    def __init__(self, x_row: np.ndarray, g_row: np.ndarray,
+                 max_iter: int):
+        dim = x_row.size
+        m = _LBFGS_M
+        self.x = x_row
+        self.f = np.array(0.0)
+        self.g = g_row
+        # Unbounded problem: nbd == 0 everywhere, bounds arrays unused.
+        self.low = np.zeros(dim)
+        self.up = np.zeros(dim)
+        self.nbd = np.zeros(dim, np.int32)
+        self.wa = np.zeros(2 * m * dim + 5 * dim + 11 * m * m + 8 * m)
+        self.iwa = np.zeros(3 * dim, np.int32)
+        self.task = np.zeros(2, np.int32)
+        self.ln_task = np.zeros(2, np.int32)
+        self.lsave = np.zeros(4, np.int32)
+        self.isave = np.zeros(44, np.int32)
+        self.dsave = np.zeros(29)
+        self.nfev = 0
+        self.nit = 0
+        self.max_iter = max_iter
+
+    def advance(self) -> bool:
+        """Step the driver; True when it wants (f, g), False when done.
+
+        Applies scipy's iteration policy between steps: task 1 is a
+        completed iteration (stop at ``max_iter`` via status 504 or at
+        ``maxfun`` via 502), task 3 requests an objective evaluation.
+        """
+        task = self.task
+        x, g = self.x, self.g
+        low, up, nbd = self.low, self.up, self.nbd
+        wa, iwa = self.wa, self.iwa
+        while True:
+            _lbfgsb_core.setulb(_LBFGS_M, x, low, up, nbd, self.f, g,
+                                _LBFGS_FACTR, _LBFGS_PGTOL, wa, iwa, task,
+                                self.lsave, self.isave, self.dsave,
+                                _LBFGS_MAXLS, self.ln_task)
+            t = task[0]
+            if t == 3:
+                return True
+            if t == 1:
+                self.nit += 1
+                if self.nit >= self.max_iter:
+                    task[0] = 5
+                    task[1] = 504
+                elif self.nfev > _LBFGS_MAXFUN:
+                    task[0] = 5
+                    task[1] = 502
+            else:
+                return False
+
+
+_lockstep_ok: bool | None = None
+
+
+def lockstep_available() -> bool:
+    """Whether scipy's ``setulb`` driver works here (probed once).
+
+    The lockstep leans on a private scipy routine; if its signature ever
+    shifts, the engine must fall back to reference fits rather than
+    crash.  The probe minimizes a tiny quadratic through the driver and
+    checks the solution, caching the verdict for the process.
+    """
+    global _lockstep_ok
+    if _lockstep_ok is None:
+        try:
+            flat = np.zeros((1, 2))
+            grad = np.zeros((1, 2))
+            inst = _LBFGSInstance(flat[0], grad[0], 50)
+            while inst.advance():
+                inst.f = np.float64((flat[0, 0] - 1.0) ** 2
+                                    + (flat[0, 1] + 2.0) ** 2)
+                grad[0, 0] = 2.0 * (flat[0, 0] - 1.0)
+                grad[0, 1] = 2.0 * (flat[0, 1] + 2.0)
+                inst.nfev += 1
+            _lockstep_ok = bool(abs(flat[0, 0] - 1.0) < 1e-6
+                                and abs(flat[0, 1] + 2.0) < 1e-6)
+        except Exception:
+            _lockstep_ok = False
+    return _lockstep_ok
+
+
+class _LockstepState:
+    """Shared buffers for one rectangular batch of lockstep solves.
+
+    ``xaugs`` are bias-augmented standardized training matrices (ones in
+    the last column) of one common shape ``(n, d + 1)``; ``y_list`` the
+    matching dense class-index vectors.  Each fold's flat parameter
+    vector is laid out as ``(d + 1, k)`` — weight rows then the bias
+    row — so one GEMM per fold covers scores + bias forward and
+    gradient + bias-gradient backward.
+    """
+
+    def __init__(self, xaugs: list[np.ndarray], y_list: list[np.ndarray],
+                 k: int, l2: float, max_iter: int):
+        count = len(xaugs)
+        n, d1 = xaugs[0].shape
+        self.count, self.n, self.d1, self.k = count, n, d1, k
+        self.dk = (d1 - 1) * k
+        self.dim = d1 * k
+        self.l2 = l2
+        self.flat = np.zeros((count, self.dim))
+        self.grad = np.zeros((count, self.dim))
+        self.insts = [_LBFGSInstance(self.flat[i], self.grad[i], max_iter)
+                      for i in range(count)]
+        self.wbs = [self.flat[i].reshape(d1, k) for i in range(count)]
+        self.gfulls = [self.grad[i].reshape(d1, k) for i in range(count)]
+        self.wpart = self.flat[:, : self.dk]
+        self.xaugs = xaugs
+        self.xaug_ts = [a.T for a in xaugs]
+        onehot = np.zeros((count, n, k))
+        for i, y_idx in enumerate(y_list):
+            onehot[i, np.arange(n), y_idx] = 1.0
+        self.onehot = onehot
+        self.y_list = y_list
+        self.act = np.empty((count, n, k))
+        self.acts = [self.act[i] for i in range(count)]
+        self.gm = np.empty((count, n, k))
+        self.gms = [self.gm[i] for i in range(count)]
+        self.wsq_buf = np.empty((count, self.dk))
+        # l2 term staged with zeroed bias columns: adding it to the full
+        # gradient matrix leaves the bias gradients untouched.
+        self.l2_flat = np.zeros((count, self.dim))
+        self.l2_w = self.l2_flat[:, : self.dk]
+
+    def run(self, chain) -> tuple[np.ndarray, int]:
+        """Drive all solves to termination; ``chain`` fills loss + gm.
+
+        Per round: forward GEMMs put each active fold's bias-inclusive
+        scores in ``act``; ``chain(active)`` must return the data-loss
+        vector and leave each fold's score-gradient in ``gm``; backward
+        GEMMs and the batched l2 terms finish the gradient.  Stale
+        inactive rows are harmless — their instances never read f or g
+        again.  Returns ``(wb, nit)`` with ``wb[i]`` the ``(d + 1, k)``
+        solution of fold ``i``.
+        """
+        matmul = np.matmul
+        multiply = np.multiply
+        reduce_ = np.add.reduce
+        insts, xaugs, xaug_ts = self.insts, self.xaugs, self.xaug_ts
+        acts, gms, wbs, gfulls = self.acts, self.gms, self.wbs, self.gfulls
+        half_l2 = 0.5 * self.l2
+        active = list(range(self.count))
+        while True:
+            active = [i for i in active if insts[i].advance()]
+            if not active:
+                break
+            for i in active:
+                matmul(xaugs[i], wbs[i], out=acts[i])
+            data_loss = chain(active)
+            for i in active:
+                matmul(xaug_ts[i], gms[i], out=gfulls[i])
+            multiply(self.wpart, self.wpart, out=self.wsq_buf)
+            loss = data_loss + half_l2 * reduce_(self.wsq_buf, axis=1)
+            multiply(self.l2, self.wpart, out=self.l2_w)
+            np.add(self.grad, self.l2_flat, out=self.grad)
+            for i in active:
+                inst = insts[i]
+                inst.f = loss[i]
+                inst.nfev += 1
+        return (self.flat.reshape(self.count, self.d1, self.k),
+                sum(inst.nit for inst in insts))
+
+
+def _lockstep_svm_solve(xaugs: list[np.ndarray], y_list: list[np.ndarray],
+                        k: int, l2: float,
+                        max_iter: int) -> tuple[np.ndarray, int]:
+    """Lockstep squared-hinge solves (reference ``LinearSVMClassifier``)."""
+    state = _LockstepState(xaugs, y_list, k, l2, max_iter)
+    signs = 2.0 * state.onehot - 1.0
+    neg2signs = np.multiply(-2.0, signs)
+    act, gm = state.act, state.gm
+    count, n = state.count, state.n
+    sq_flat = np.empty((count, n * k))
+    sq = sq_flat.reshape(count, n, k)
+    nk = float(n * k)
+    fn = float(n)
+
+    def chain(active):
+        # margins -> squared-hinge loss means, grad_margin in gm
+        np.multiply(signs, act, out=act)
+        np.subtract(1.0, act, out=act)
+        np.maximum(act, 0.0, out=act)
+        np.multiply(act, act, out=sq)
+        np.multiply(neg2signs, act, out=gm)
+        np.divide(gm, fn, out=gm)
+        return np.add.reduce(sq_flat, axis=1) / nk
+
+    return state.run(chain)
+
+
+def _lockstep_logreg_solve(xaugs: list[np.ndarray], y_list: list[np.ndarray],
+                           k: int, l2: float,
+                           max_iter: int) -> tuple[np.ndarray, int]:
+    """Lockstep softmax solves (reference ``LogisticRegressionClassifier``)."""
+    state = _LockstepState(xaugs, y_list, k, l2, max_iter)
+    act, gm = state.act, state.gm
+    count, n = state.count, state.n
+    act_flat = act.reshape(count, n * k)
+    rows = np.arange(count)[:, None]
+    gather = np.stack([np.arange(n) * k + y_idx for y_idx in y_list])
+    fn = float(n)
+
+    def chain(active):
+        # stabilized softmax -> nll means, (probs - targets)/n in gm
+        np.subtract(act, act.max(axis=2, keepdims=True), out=act)
+        np.exp(act, out=act)
+        np.divide(act, np.add.reduce(act, axis=2, keepdims=True), out=act)
+        picked = act_flat[rows, gather]
+        np.add(picked, 1e-12, out=picked)
+        np.log(picked, out=picked)
+        nll = -(np.add.reduce(picked, axis=1) / fn)
+        np.subtract(act, state.onehot, out=gm)
+        np.divide(gm, fn, out=gm)
+        return nll
+
+    return state.run(chain)
+
+
+def _min_top2_gap(test_scores: np.ndarray) -> float:
+    """Smallest top-2 score gap across a fold's test rows."""
+    top2 = np.partition(test_scores, test_scores.shape[1] - 2, axis=1)
+    return float((top2[:, -1] - top2[:, -2]).min())
+
+
+# ----------------------------------------------------------------------
+# Joint logistic solve (graph logreg folds, node probes)
+# ----------------------------------------------------------------------
+def _joint_solve(x: np.ndarray, class_ids: np.ndarray, k: int,
+                 plan: FoldPlan, l2: float,
+                 max_iter: int) -> tuple[np.ndarray, int]:
+    """Solve all of a plan's logistic folds in one L-BFGS run.
+
+    Parametrized in each fold's *standardized* coordinates (so the
+    regularizer matches the reference exactly) but evaluated through one
+    fused matmul over the raw embeddings, with the per-fold mean/std
+    folded into the weights.  Returns ``(scores, nit)`` where ``scores``
+    has shape ``(n, F, k)`` — row scores of every sample under every
+    fold's classifier — and ``nit`` is the solver's iteration count.
+    """
+    n, d = x.shape
+    f_count = len(plan.valid)
+    inv_std_t = (1.0 / plan.std).T                     # (d, F)
+    mean_t = plan.mean.T                               # (d, F)
+    train_w = 1.0 - plan.test_mask                     # (n, F)
+    n_tr = plan.train_sizes                            # (F,)
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), class_ids] = 1.0
+    rows = np.arange(n)[:, None]
+    cols = np.arange(f_count)[None, :]
+
+    def scores_of(flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        w = flat[: d * f_count * k].reshape(d, f_count, k)
+        b = flat[d * f_count * k:].reshape(f_count, k)
+        w_prime = w * inv_std_t[:, :, None]            # std folded in
+        s = (x @ w_prime.reshape(d, f_count * k)).reshape(n, f_count, k)
+        b_prime = b - np.einsum("fd,dfk->fk", plan.mean, w_prime)
+        return s + b_prime[None], w
+
+    def objective(flat: np.ndarray):
+        s, w = scores_of(flat)
+        shifted = s - s.max(axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=2, keepdims=True)
+        picked = probs[rows, cols, class_ids[:, None]]
+        nll = -(np.log(picked + 1e-12) * train_w).sum(axis=0) / n_tr
+        loss = float(nll.sum())
+        grad_s = ((probs - onehot[:, None, :]) * train_w[:, :, None]
+                  / n_tr[None, :, None])
+        loss += 0.5 * l2 * float((w ** 2).sum())
+        xt_g = (x.T @ grad_s.reshape(n, f_count * k)).reshape(d, f_count, k)
+        colsum = grad_s.sum(axis=0)                    # (F, k)
+        grad_w = (inv_std_t[:, :, None]
+                  * (xt_g - mean_t[:, :, None] * colsum[None])
+                  + l2 * w)
+        return loss, np.concatenate([grad_w.ravel(), colsum.ravel()])
+
+    start = np.zeros(d * f_count * k + f_count * k)
+    result = optimize.minimize(
+        objective, start, jac=True, method="L-BFGS-B",
+        options={"maxiter": max_iter * f_count, **_TIGHT_OPTIONS})
+    scores, _ = scores_of(result.x)
+    return scores, int(result.nit)
+
+
+# ----------------------------------------------------------------------
+# Graph protocol tasks (one per repeat; also the fork-pool task unit)
+# ----------------------------------------------------------------------
+@dataclass
+class _GraphContext:
+    """Shared read-only state for graph-protocol repeat tasks."""
+
+    x: np.ndarray
+    labels: np.ndarray
+    class_ids: np.ndarray
+    num_classes: int
+    classes: np.ndarray
+    classifier: str
+    folds: int
+    seed: int
+    tau: float
+    l2: float
+    max_iter: int
+    lockstep: bool = False
+
+
+def _reference_cell(ctx, plan: FoldPlan, position: int, repeat: int) -> float:
+    """One (repeat, fold) cell on the exact reference arithmetic."""
+    train_idx = plan.train_indices(position)
+    test_idx = plan.folds[position]
+    x_train, x_test = standardize(ctx.x[train_idx], ctx.x[test_idx])
+    model = make_classifier(ctx.classifier, seed=ctx.seed + repeat)
+    model.fit(x_train, ctx.labels[train_idx])
+    return accuracy(model.predict(x_test), ctx.labels[test_idx])
+
+
+_LOCKSTEP_SOLVERS = {"svm": _lockstep_svm_solve,
+                     "logreg": _lockstep_logreg_solve}
+
+
+def _lockstep_repeat(ctx, plan: FoldPlan, repeat: int,
+                     out: dict) -> list[float]:
+    """One repeat's folds: lockstep solves + margin guard.
+
+    Folds are grouped by training-split size (``np.array_split`` makes
+    at most two sizes per repeat) so each lockstep batch is rectangular;
+    uncovered or guard-tripped folds re-fit on the reference path.
+    """
+    solve = _LOCKSTEP_SOLVERS[ctx.classifier]
+    x = ctx.x
+    d = x.shape[1]
+    k = ctx.num_classes
+
+    scores_by_pos: dict[int, float] = {}
+    groups: dict[int, list[int]] = {}
+    for j, position in enumerate(plan.valid):
+        if plan.covered[j]:
+            groups.setdefault(len(plan.folds[position]), []).append(j)
+        else:
+            scores_by_pos[position] = _reference_cell(ctx, plan, position,
+                                                      repeat)
+            out["fallback"] += 1
+
+    for members in groups.values():
+        xaugs, y_list = [], []
+        for j in members:
+            train_idx = plan.train_indices(plan.valid[j])
+            xaug = np.empty((len(train_idx), d + 1))
+            np.subtract(x[train_idx], plan.mean[j], out=xaug[:, :d])
+            xaug[:, :d] /= plan.std[j]
+            xaug[:, d] = 1.0
+            xaugs.append(xaug)
+            y_list.append(ctx.class_ids[train_idx])
+        with trace("eval/lockstep"):
+            wb, nit = solve(xaugs, y_list, k, ctx.l2, ctx.max_iter)
+        out["nit"] += nit
+        for i, j in enumerate(members):
+            position = plan.valid[j]
+            test_idx = plan.folds[position]
+            x_test = (x[test_idx] - plan.mean[j]) / plan.std[j]
+            test_scores = x_test @ wb[i, :d] + wb[i, d]
+            if _min_top2_gap(test_scores) >= ctx.tau:
+                preds = ctx.classes[np.argmax(test_scores, axis=1)]
+                scores_by_pos[position] = accuracy(preds,
+                                                   ctx.labels[test_idx])
+                out["batched"] += 1
+            else:
+                scores_by_pos[position] = _reference_cell(ctx, plan,
+                                                          position, repeat)
+                out["fallback"] += 1
+    return [scores_by_pos[position] for position in plan.valid]
+
+
+def _graph_repeat_task(repeat: int) -> dict:
+    """Evaluate one repeat of the graph protocol on the fast engine."""
+    ctx = map_context()
+    started = time.perf_counter()
+    rng = seeded_rng(ctx.seed + repeat)
+    fold_list = kfold_indices(len(ctx.labels), ctx.folds, rng)
+    plan = plan_folds(ctx.x, ctx.class_ids, fold_list, ctx.num_classes)
+    out = {"score": None, "skipped": plan.skipped, "batched": 0,
+           "fallback": 0, "nit": 0, "seconds": 0.0}
+    if not plan.valid:
+        out["seconds"] = time.perf_counter() - started
+        return out
+
+    if ctx.lockstep:
+        fold_scores = _lockstep_repeat(ctx, plan, repeat, out)
+    elif ctx.classifier == "logreg":
+        # Missing lockstep driver: the joint solve still beats 10 scipy
+        # wrapper round-trips on the copies alone.
+        scores, nit = _joint_solve(ctx.x, ctx.class_ids, ctx.num_classes,
+                                   plan, ctx.l2, ctx.max_iter)
+        out["nit"] = nit
+        fold_scores = []
+        for j, position in enumerate(plan.valid):
+            test_idx = plan.folds[position]
+            test_scores = scores[test_idx, j, :]
+            if plan.covered[j] and _min_top2_gap(test_scores) >= ctx.tau:
+                preds = ctx.classes[np.argmax(test_scores, axis=1)]
+                fold_scores.append(accuracy(preds, ctx.labels[test_idx]))
+                out["batched"] += 1
+            else:
+                fold_scores.append(_reference_cell(ctx, plan, position,
+                                                   repeat))
+                out["fallback"] += 1
+    else:
+        # SGD (trajectory depends on every minibatch draw) or an SVM
+        # without the driver: exact reference cells, parallel repeats
+        # are the only speedup.
+        fold_scores = [_reference_cell(ctx, plan, pos, repeat)
+                       for pos in plan.valid]
+        out["fallback"] = len(plan.valid)
+    out["score"] = float(np.mean(fold_scores))
+    out["seconds"] = time.perf_counter() - started
+    return out
+
+
+def fast_evaluate_graph(embeddings: np.ndarray, labels: np.ndarray, *,
+                        classifier: str = "svm", folds: int = 10,
+                        repeats: int = 5, seed: int = 0,
+                        eval_workers: int | None = None,
+                        ) -> tuple[float, float, EvalStats]:
+    """Fast path for :func:`repro.eval.protocol.evaluate_graph_embeddings`.
+
+    Returns ``(mean, std, stats)`` with the mean/std identical to the
+    reference protocol at every ``eval_workers`` count.
+    """
+    started = time.perf_counter()
+    x = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes, class_ids = np.unique(labels, return_inverse=True)
+    workers = resolve_eval_workers(eval_workers)
+    probe = make_classifier(classifier, seed=seed)
+    lockstep = classifier in _LOCKSTEP_SOLVERS and lockstep_available()
+    ctx = _GraphContext(x=x, labels=labels, class_ids=class_ids,
+                        num_classes=len(classes), classes=classes,
+                        classifier=classifier, folds=folds, seed=seed,
+                        tau=guard_tau("lockstep" if lockstep else "logreg"),
+                        l2=probe.l2, max_iter=probe.max_iter,
+                        lockstep=lockstep)
+    with trace("eval/graph"):
+        results = fork_map(_graph_repeat_task, range(repeats),
+                           workers=workers, context=ctx)
+    run_scores = [r["score"] for r in results if r["score"] is not None]
+    mean, std = mean_std(run_scores)
+    if classifier == "sgd":
+        solver = "sgd"
+    elif lockstep:
+        solver = "lockstep"
+    else:
+        solver = "batched" if classifier == "logreg" else "reference"
+    stats = EvalStats(
+        seconds=time.perf_counter() - started,
+        solver=solver,
+        workers=workers, repeats=repeats,
+        folds_total=folds * repeats,
+        folds_batched=sum(r["batched"] for r in results),
+        folds_fallback=sum(r["fallback"] for r in results),
+        folds_skipped=sum(r["skipped"] for r in results),
+        fit_iterations=sum(r["nit"] for r in results),
+        repeat_seconds=tuple(round(r["seconds"], 4) for r in results))
+    return 100.0 * mean, 100.0 * std, stats
+
+
+# ----------------------------------------------------------------------
+# Node protocol (repeats batched into one joint solve)
+# ----------------------------------------------------------------------
+def _node_reference_repeat(x: np.ndarray, labels: np.ndarray,
+                           subset: np.ndarray,
+                           test_idx: np.ndarray) -> float:
+    """One node-probe repeat on the exact reference arithmetic."""
+    x_train, x_test = standardize(x[subset], x[test_idx])
+    model = make_classifier("logreg")
+    model.fit(x_train, labels[subset])
+    return accuracy(model.predict(x_test), labels[test_idx])
+
+
+def fast_evaluate_node(embeddings: np.ndarray, labels: np.ndarray,
+                       train_mask: np.ndarray, test_mask: np.ndarray, *,
+                       repeats: int = 3, seed: int = 0,
+                       ) -> tuple[float, float, EvalStats]:
+    """Fast path for :func:`repro.eval.protocol.evaluate_node_embeddings`.
+
+    The probe repeats differ only in their subsampled training masks, so
+    they batch into a single joint logistic solve over the train+test
+    rows (the batch *is* the whole evaluation — worker count is moot).
+    Guarded repeats fall back to the exact reference fit.
+    """
+    started = time.perf_counter()
+    x = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    train_idx = np.flatnonzero(train_mask)
+    test_idx = np.flatnonzero(test_mask)
+    probe = make_classifier("logreg")
+
+    # Reproduce the reference's subset draws exactly (same generators,
+    # same call order within each independent per-repeat stream).
+    subsets = []
+    for repeat in range(repeats):
+        rng = seeded_rng(seed + repeat)
+        take = max(2, int(round(len(train_idx) * 0.9)))
+        subset = rng.choice(train_idx, size=take, replace=False)
+        if len(np.unique(labels[subset])) < 2:
+            subset = train_idx
+        subsets.append(subset)
+
+    overlap = np.intersect1d(train_idx, test_idx).size > 0
+    classes = np.unique(labels[train_idx])
+    if overlap or len(classes) < 2:
+        # Degenerate splits: run the reference path verbatim (including
+        # its error behavior when the probe cannot be fit).
+        scores = [_node_reference_repeat(x, labels, subset, test_idx)
+                  for subset in subsets]
+        mean, std = mean_std(scores)
+        stats = EvalStats(seconds=time.perf_counter() - started,
+                          solver="reference", repeats=repeats,
+                          folds_total=repeats, folds_fallback=repeats)
+        return 100.0 * mean, 100.0 * std, stats
+
+    rows = np.concatenate([train_idx, test_idx])
+    xs = x[rows]
+    t_count = len(train_idx)
+    cid_train = np.searchsorted(classes, labels[train_idx])
+    cid_all = np.zeros(len(rows), dtype=np.int64)
+    cid_all[:t_count] = cid_train      # test rows masked out of the loss
+    total_sum = xs[:t_count].sum(axis=0)
+    total_sq = (xs[:t_count] * xs[:t_count]).sum(axis=0)
+
+    mean_arr = np.empty((repeats, x.shape[1]))
+    std_arr = np.empty((repeats, x.shape[1]))
+    sizes = np.empty(repeats)
+    t_mask = np.ones((len(rows), repeats))    # complement of train weight
+    covered = np.empty(repeats, dtype=bool)
+    for r, subset in enumerate(subsets):
+        pos = np.searchsorted(train_idx, subset)
+        dropped = np.ones(t_count, dtype=bool)
+        dropped[pos] = False
+        drop_rows = xs[:t_count][dropped]
+        take = len(subset)
+        mu = (total_sum - drop_rows.sum(axis=0)) / take
+        var = ((total_sq - (drop_rows * drop_rows).sum(axis=0)) / take
+               - mu * mu)
+        sd = np.sqrt(np.maximum(var, 0.0))
+        sd[sd < 1e-12] = 1.0
+        mean_arr[r], std_arr[r], sizes[r] = mu, sd, take
+        t_mask[pos, r] = 0.0
+        counts = np.bincount(cid_train[pos], minlength=len(classes))
+        covered[r] = bool((counts > 0).all())
+
+    plan = FoldPlan(folds=[], valid=list(range(repeats)), mean=mean_arr,
+                    std=std_arr, train_sizes=sizes, test_mask=t_mask,
+                    covered=covered)
+    with trace("eval/node"):
+        scores_all, nit = _joint_solve(xs, cid_all, len(classes), plan,
+                                       probe.l2, probe.max_iter)
+    tau = guard_tau("logreg")
+    scores = []
+    batched = fallback = 0
+    for r, subset in enumerate(subsets):
+        test_scores = scores_all[t_count:, r, :]
+        if covered[r] and _min_top2_gap(test_scores) >= tau:
+            preds = classes[np.argmax(test_scores, axis=1)]
+            scores.append(accuracy(preds, labels[test_idx]))
+            batched += 1
+        else:
+            scores.append(_node_reference_repeat(x, labels, subset,
+                                                 test_idx))
+            fallback += 1
+    mean, std = mean_std(scores)
+    stats = EvalStats(seconds=time.perf_counter() - started,
+                      solver="batched", repeats=repeats,
+                      folds_total=repeats, folds_batched=batched,
+                      folds_fallback=fallback, fit_iterations=nit)
+    return 100.0 * mean, 100.0 * std, stats

@@ -168,10 +168,12 @@ def events_of(events: Iterable[dict], event_type: str) -> list[dict]:
 
 #: Fields that legitimately differ between reruns of the same seed:
 #: wall-clock stamps, measured durations, throughput derived from them, and
-#: the pipeline-shape knobs that are guaranteed not to change any number.
+#: the pipeline/eval-shape knobs that are guaranteed not to change any
+#: number (the evaluation engine is bit-identical at every worker count).
 NONDETERMINISTIC_KEYS = frozenset({
     "ts", "seconds", "total_seconds", "graphs_per_sec", "nodes_per_sec",
     "workers", "prefetch",
+    "eval_seconds", "eval_repeat_seconds", "eval_workers", "eval_solver",
 })
 
 #: Event types that are timing-only (span statistics) or depend on

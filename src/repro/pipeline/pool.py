@@ -1,0 +1,69 @@
+"""Generic fork-pool fan-out for deterministic task units.
+
+:class:`~repro.pipeline.workers.ViewGenerator` owns the augmentation
+pool; this module exposes the same execution discipline as a reusable
+primitive for other subsystems (the evaluation engine parallelizes
+cross-validation repeats with it):
+
+* ``workers=0`` runs the exact serial in-process path;
+* ``workers=N`` fans items across a fork-based ``multiprocessing.Pool``
+  with ``chunksize=1`` so task units load-balance;
+* platforms without ``fork`` degrade to the serial path.
+
+Determinism contract: the caller's task function must depend only on its
+item (plus the immutable shared context), never on execution order or
+process identity — then results are bit-identical at every worker count
+because ``fork_map`` preserves item order in its output.
+
+Large shared state (an embedding matrix, say) should ride in ``context``
+rather than inside every item: it is published to a module global
+*before* the pool forks, so children inherit it through copy-on-write
+memory instead of per-task pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from .workers import resolve_workers
+
+__all__ = ["fork_map", "map_context"]
+
+#: Shared read-only context for the duration of one ``fork_map`` call.
+#: Set in the parent before the pool is created so forked children see it.
+_CONTEXT = None
+
+
+def map_context():
+    """The ``context`` object of the enclosing :func:`fork_map` call.
+
+    Valid inside task functions only (parent process on the serial path,
+    forked children on the pool path); ``None`` outside a call.
+    """
+    return _CONTEXT
+
+
+def fork_map(fn, items, *, workers: int | None = None, context=None) -> list:
+    """Apply ``fn`` to every item, optionally across a fork pool.
+
+    Returns results in item order.  ``workers=None`` defers to
+    ``REPRO_WORKERS`` (see :func:`repro.pipeline.workers.resolve_workers`);
+    ``0``, a single item, or a fork-less platform all take the serial
+    path, which calls ``fn`` directly in-process.
+    """
+    global _CONTEXT
+    items = list(items)
+    workers = resolve_workers(workers)
+    _CONTEXT = context
+    try:
+        if workers > 0 and len(items) > 1:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                ctx = None
+            if ctx is not None:
+                with ctx.Pool(min(workers, len(items))) as pool:
+                    return pool.map(fn, items, chunksize=1)
+        return [fn(item) for item in items]
+    finally:
+        _CONTEXT = None

@@ -51,13 +51,25 @@ class Callback:
 
 
 class ProbeCallback(Callback):
-    """Append ``probe(method)``'s dict to ``history.probes`` each epoch."""
+    """Append ``probe(method)``'s dict to ``history.probes`` periodically.
 
-    def __init__(self, probe: Callable):
+    ``every`` thins the cadence for expensive probes (e.g. a full
+    downstream evaluation): the probe runs after epochs ``every - 1``,
+    ``2 * every - 1``, ... and always after the final epoch, so a run's
+    last state is probed regardless of alignment.
+    """
+
+    def __init__(self, probe: Callable, every: int = 1):
+        if every < 1:
+            raise ValueError(f"probe every must be >= 1, got {every}")
         self.probe = probe
+        self.every = every
 
     def on_epoch_end(self, trainer, epoch: int) -> None:
-        trainer.history.probes.append(self.probe(trainer.method))
+        done = epoch + 1
+        if (done % self.every == 0 or done >= trainer.epochs
+                or trainer.stop_requested):
+            trainer.history.probes.append(self.probe(trainer.method))
 
 
 class EarlyStopping(Callback):

@@ -61,6 +61,7 @@ class RunConfig:
     out_dim: int | None = None        # node-level only
     num_layers: int | None = None     # graph-level only
     workers: int | None = None        # None defers to REPRO_WORKERS
+    eval_workers: int | None = None   # None defers to REPRO_EVAL_WORKERS
     cache: bool = True
     cache_entries: int | None = None
     run_dir: str | None = None        # journal + checkpoint directory
@@ -150,10 +151,11 @@ class RunConfig:
         return path
 
     #: Fields that do not influence the training numbers: storage
-    #: locations, execution topology (the pipeline is bit-identical at
-    #: every worker/cache setting), and journal/checkpoint cadence.
-    _NON_TRAINING_FIELDS = ("run_dir", "save", "workers", "cache",
-                            "cache_entries", "spectrum_every",
+    #: locations, execution topology (the pipeline and the evaluation
+    #: engine are bit-identical at every worker/cache setting), and
+    #: journal/checkpoint cadence.
+    _NON_TRAINING_FIELDS = ("run_dir", "save", "workers", "eval_workers",
+                            "cache", "cache_entries", "spectrum_every",
                             "checkpoint_every")
 
     def config_hash(self) -> str:

@@ -127,35 +127,69 @@ def _finish(ctx: _RunContext) -> RunResult:
     return result
 
 
+def _eval_journal_fields() -> dict:
+    """Engine telemetry for the journal ``eval`` event (may be empty)."""
+    from ..eval import last_eval_stats
+
+    stats = last_eval_stats()
+    return stats.to_fields() if stats is not None else {}
+
+
+def _log_eval(ctx: _RunContext, **fields) -> None:
+    """Emit the ``eval`` event plus a ``note`` for silently skipped folds.
+
+    The trainer's end-of-run ``trace`` event predates evaluation, so the
+    ``evaluate`` span (when telemetry is on) gets its own ``trace`` event
+    here, restricted to evaluation paths.
+    """
+    if ctx.journal is None:
+        return
+    extra = _eval_journal_fields()
+    ctx.journal.log("eval", dataset=ctx.config.dataset, **fields, **extra)
+    skipped = extra.get("eval_folds_skipped", 0)
+    if skipped:
+        ctx.journal.log(
+            "note",
+            message=f"evaluation skipped {skipped} degenerate fold(s) "
+                    "whose training split had fewer than two classes; the "
+                    "reported mean/std covers the remaining folds only",
+            folds_skipped=skipped)
+    spans = {path: stats for path, stats
+             in ctx.trainer.tracer.snapshot().items()
+             if path.split("/", 1)[0] == "evaluate"}
+    if spans:
+        ctx.journal.log("trace", spans=spans)
+
+
 def _evaluate(ctx: _RunContext, history) -> RunResult:
     """Level-appropriate downstream evaluation + journal ``eval`` event."""
     config = ctx.config
     method, dataset, journal = ctx.method, ctx.dataset, ctx.journal
     journal_path = journal.path if journal is not None else None
+    tracer = ctx.trainer.tracer
     if config.level == "graph":
         from ..core import effective_rank
         from ..eval import evaluate_graph_embeddings
 
-        embeddings = method.embed(dataset.graphs)
-        acc, std = evaluate_graph_embeddings(embeddings, dataset.labels(),
-                                             seed=config.seed)
+        with tracer.trace("evaluate"):
+            embeddings = method.embed(dataset.graphs)
+            acc, std = evaluate_graph_embeddings(
+                embeddings, dataset.labels(), seed=config.seed,
+                eval_workers=config.eval_workers)
         rank = effective_rank(embeddings)
-        if journal is not None:
-            journal.log("eval", dataset=config.dataset, accuracy=acc,
-                        accuracy_std=std, effective_rank=rank)
+        _log_eval(ctx, accuracy=acc, accuracy_std=std, effective_rank=rank)
         return RunResult(config=config, history=history, accuracy=acc,
                          accuracy_std=std, effective_rank=rank,
                          journal_path=journal_path)
     from ..eval import evaluate_node_embeddings
 
-    acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
-                                        dataset.labels(),
-                                        dataset.train_mask,
-                                        dataset.test_mask,
-                                        seed=config.seed)
-    if journal is not None:
-        journal.log("eval", dataset=config.dataset, accuracy=acc,
-                    accuracy_std=std)
+    with tracer.trace("evaluate"):
+        acc, std = evaluate_node_embeddings(method.embed(dataset.graph),
+                                            dataset.labels(),
+                                            dataset.train_mask,
+                                            dataset.test_mask,
+                                            seed=config.seed)
+    _log_eval(ctx, accuracy=acc, accuracy_std=std)
     return RunResult(config=config, history=history, accuracy=acc,
                      accuracy_std=std, journal_path=journal_path)
 

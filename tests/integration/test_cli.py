@@ -151,6 +151,24 @@ class TestRunCommand:
         assert "Epochs" in report
         assert "Evaluation" in report
 
+    def test_run_journal_carries_eval_telemetry(self, tmp_path, capsys):
+        from repro.obs import events_of, read_journal
+
+        run_dir = tmp_path / "run"
+        code = main(["run", "--method", "GraphCL", "--dataset", "MUTAG",
+                     "--scale", "tiny", "--epochs", "1", "--hidden-dim",
+                     "8", "--eval-workers", "2", "--run-dir",
+                     str(run_dir)])
+        assert code == 0
+        capsys.readouterr()
+        (event,) = events_of(read_journal(str(run_dir)), "eval")
+        assert event["eval_workers"] == 2
+        assert event["eval_folds"] == 50
+        assert event["eval_solver"] in ("lockstep", "batched", "reference")
+        assert len(event["eval_repeat_seconds"]) == 5
+        assert main(["report", str(run_dir)]) == 0
+        assert "eval" in capsys.readouterr().out
+
     def test_run_from_config_file_with_override(self, tmp_path, capsys):
         config_path = tmp_path / "config.json"
         config_path.write_text(json.dumps(

@@ -117,6 +117,20 @@ class TestHelpers:
                   {"event": "epoch", "epoch": 1}]
         assert [e["epoch"] for e in events_of(events, "epoch")] == [0, 1]
 
+    def test_canonical_events_strip_eval_topology(self):
+        # Eval timings/worker counts differ between reruns; the numbers
+        # (accuracy, fold counts) must survive canonicalization so the
+        # determinism drills still compare them.
+        from repro.obs import canonical_events
+
+        events = [{"event": "eval", "ts": 1.0, "accuracy": 87.5,
+                   "eval_seconds": 0.3, "eval_repeat_seconds": [0.1],
+                   "eval_workers": 2, "eval_solver": "lockstep",
+                   "eval_folds": 50}]
+        (canonical,) = canonical_events(events)
+        assert canonical == {"event": "eval", "accuracy": 87.5,
+                             "eval_folds": 50}
+
 
 class TestEngineStats:
     def test_counters_track_ops_and_backward(self):

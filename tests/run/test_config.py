@@ -74,6 +74,11 @@ class TestSerialization:
                            run_dir="runs/x")
         assert RunConfig.from_dict(config.to_dict()) == config
 
+    def test_eval_workers_round_trip(self):
+        config = RunConfig(method="GraphCL", eval_workers=2)
+        assert RunConfig.from_dict(config.to_dict()).eval_workers == 2
+        assert RunConfig(method="GraphCL").eval_workers is None
+
     def test_unknown_field_raises_with_field_list(self):
         with pytest.raises(ValueError, match="learning_rate"):
             RunConfig.from_dict({"method": "GraphCL", "learning_rate": 1.0})
@@ -104,6 +109,13 @@ class TestHashAndJournalFields:
                                        run_dir="runs/x",
                                        checkpoint_every=2,
                                        spectrum_every=5)
+        assert base.config_hash() == parallel.config_hash()
+
+    def test_hash_ignores_eval_workers(self):
+        # The evaluation engine is bit-identical at every worker count,
+        # so eval_workers is execution topology, not an experiment knob.
+        base = RunConfig(method="GraphCL", weight=0.5)
+        parallel = dataclasses.replace(base, eval_workers=2)
         assert base.config_hash() == parallel.config_hash()
 
     def test_hash_tracks_hyperparameters(self):

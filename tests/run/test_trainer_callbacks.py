@@ -85,6 +85,38 @@ class TestCallbackProtocol:
         history = trainer.fit()
         assert len(history.probes) == 2
 
+    def test_probe_every_thins_cadence(self, graph_dataset):
+        # every=2 over 5 epochs: after epochs 2 and 4, plus the final
+        # epoch regardless of alignment.
+        method = _graph_method(graph_dataset)
+        trainer = Trainer(method, GraphSteps(graph_dataset.graphs,
+                                             batch_size=16, seed=0),
+                          epochs=5,
+                          callbacks=[ProbeCallback(lambda m: {"n": 1},
+                                                   every=2)])
+        history = trainer.fit()
+        assert len(history.probes) == 3
+
+    def test_probe_fires_on_requested_stop(self, graph_dataset):
+        class StopNow(Callback):
+            def on_epoch_end(self, trainer, epoch):
+                trainer.request_stop()
+
+        method = _graph_method(graph_dataset)
+        trainer = Trainer(method, GraphSteps(graph_dataset.graphs,
+                                             batch_size=16, seed=0),
+                          epochs=10,
+                          callbacks=[StopNow(),
+                                     ProbeCallback(lambda m: {"n": 1},
+                                                   every=100)])
+        trainer.fit()
+        # An off-cadence early stop still probes the run's final state.
+        assert len(trainer.history.probes) == 1
+
+    def test_probe_every_validation(self):
+        with pytest.raises(ValueError, match="every"):
+            ProbeCallback(lambda m: {}, every=0)
+
     def test_early_stopping_validation(self):
         with pytest.raises(ValueError, match="patience"):
             EarlyStopping(patience=0)
