@@ -5,7 +5,8 @@
 # ROADMAP.md exactly.
 
 .PHONY: install test test-fast test-all ci lint bench bench-small \
-        bench-tensor bench-pipeline bench-eval check-perf examples clean
+        bench-tensor bench-pipeline bench-eval bench-serve check-perf \
+        serve-smoke examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -24,9 +25,13 @@ test-fast:
 test-all:
 	$(PYTEST) -q
 
-# Full tiered gate: static checks, fast tests, telemetry smoke, perf.
+# Full tiered gate: static, fast tests, telemetry smoke, perf, serving.
 ci:
 	python scripts/ci.py
+
+# CI tier (e) alone: checkpoint -> offline embed -> concurrent HTTP load.
+serve-smoke:
+	python scripts/ci.py --tiers e
 
 lint:
 	python scripts/lint_repro.py
@@ -45,6 +50,9 @@ bench-pipeline:
 
 bench-eval:
 	PYTHONPATH=src python -m benchmarks.bench_eval
+
+bench-serve:
+	PYTHONPATH=src python -m benchmarks.bench_serve
 
 check-perf:
 	PYTHONPATH=src python scripts/check_perf.py

@@ -26,6 +26,15 @@ Two checks, both run by CI tier (d):
   3x target.  On a single-core baseline the parallel floor is skipped
   with the payload's ``parallel_note`` annotation; the serial floors
   still gate.
+* **Serving acceptance** — static validation of the committed
+  ``BENCH_serve.json`` (``benchmarks/bench_serve.py``): the batched-vs-
+  sequential equivalence boolean must be true (micro-batched rows are
+  bit-identical to one-forward-per-request rows), the micro-batcher must
+  have actually coalesced (nonzero coalesce rate), and on multi-core
+  baselines the batched path must be >=2x the sequential throughput.
+  Single-core baselines carry a ``parallel_note`` and gate on
+  equivalence + coalescing only (though in practice amortization alone
+  clears 2x even there).
 
 By default the exit code is always 0 — wall-clock on a developer's shared
 box is too noisy for a hard local gate, but the warning makes regressions
@@ -49,6 +58,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "BENCH_tensor.json"
 PIPELINE_BASELINE = REPO_ROOT / "BENCH_pipeline.json"
 EVAL_BASELINE = REPO_ROOT / "BENCH_eval.json"
+SERVE_BASELINE = REPO_ROOT / "BENCH_serve.json"
 REGRESSION_THRESHOLD = 0.20
 
 # Acceptance floors for the input-pipeline benchmarks.
@@ -59,6 +69,9 @@ SERIAL_MAX_REGRESSION = 1.15
 # Acceptance floors for the evaluation engine (fast vs reference path).
 EVAL_SERIAL_MIN_SPEEDUP = {"svm": 2.0, "logreg": 1.5}
 EVAL_PARALLEL_MIN_SPEEDUP = 3.0
+
+# Acceptance floor for the serving stack (micro-batched vs sequential).
+SERVE_MIN_SPEEDUP = 2.0
 
 sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -150,6 +163,36 @@ def check_eval_baseline() -> int:
     return failures
 
 
+def check_serve_baseline() -> int:
+    """Validate BENCH_serve.json acceptance floors; return failure count."""
+    payload = json.loads(SERVE_BASELINE.read_text())
+    cpu_count = payload.get("cpu_count") or 1
+    failures = 0
+
+    identical = payload["equivalence"]["batched_vs_sequential"]
+    status = "ok" if identical else "FAIL"
+    failures += status == "FAIL"
+    print(f"{'serve equivalence':24s} identical={identical}  {status}")
+
+    coalesce = payload["batched"]["coalesce_rate"]
+    status = "ok" if coalesce > 0 else "FAIL"
+    failures += status == "FAIL"
+    print(f"{'serve coalescing':24s} rate={coalesce:.2f} (floor >0)  "
+          f"{status}")
+
+    speedup = payload["batched"]["speedup_vs_sequential"]
+    if cpu_count > 1:
+        status = "ok" if speedup >= SERVE_MIN_SPEEDUP else "FAIL"
+        failures += status == "FAIL"
+        print(f"{'serve batched':24s} speedup={speedup:.2f}x "
+              f"(floor {SERVE_MIN_SPEEDUP:.1f}x)  {status}")
+    else:
+        print(f"{'serve batched':24s} speedup={speedup:.2f}x "
+              f"(floor skipped: baseline recorded on "
+              f"cpu_count={cpu_count})")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--strict", action="store_true",
@@ -162,7 +205,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     for path, regen in ((BASELINE, "bench_tensor_ops"),
                         (PIPELINE_BASELINE, "bench_pipeline"),
-                        (EVAL_BASELINE, "bench_eval")):
+                        (EVAL_BASELINE, "bench_eval"),
+                        (SERVE_BASELINE, "bench_serve")):
         if not path.exists():
             print(f"no baseline at {path}; run "
                   f"`PYTHONPATH=src python -m benchmarks.{regen}` first")
@@ -173,11 +217,13 @@ def main(argv=None) -> int:
     failures = check_pipeline_baseline()
     print()
     failures += check_eval_baseline()
+    print()
+    failures += check_serve_baseline()
 
     if failures:
         print(f"\n{failures} acceptance floor(s) violated in "
-              f"{PIPELINE_BASELINE.name} / {EVAL_BASELINE.name} — "
-              "regenerate or fix the regression")
+              f"{PIPELINE_BASELINE.name} / {EVAL_BASELINE.name} / "
+              f"{SERVE_BASELINE.name} — regenerate or fix the regression")
         return 1
     if warnings:
         mode = ("failing the build (--strict)" if args.strict
@@ -186,7 +232,7 @@ def main(argv=None) -> int:
               f"{args.threshold:.0%} — investigate before merging ({mode})")
         return 1 if args.strict else 0
     print("\nall perf gates green: tensor microbenches within threshold, "
-          "pipeline and evaluation acceptance floors met")
+          "pipeline, evaluation, and serving acceptance floors met")
     return 0
 
 

@@ -21,14 +21,23 @@ Tiers run in order and the gate stops at the first failure:
 * **d — perf**: ``scripts/check_perf.py --strict``, the fused-kernel
   microbenchmarks against the committed ``BENCH_tensor.json`` baseline
   (fails on >20% regression) plus the static acceptance floors of
-  ``BENCH_pipeline.json`` and ``BENCH_eval.json`` (pipeline/evaluation
-  speedups and fast-vs-reference equivalence).
+  ``BENCH_pipeline.json``, ``BENCH_eval.json``, and ``BENCH_serve.json``
+  (pipeline/evaluation/serving speedups and fast-vs-reference
+  equivalence).
+* **e — serving smoke**: a 2-epoch checkpointed run, ``repro embed`` to an
+  npz, then an in-process :class:`repro.serve.EmbeddingHTTPServer` hit
+  with 32 concurrent ``/embed`` requests from 4 threads — every served
+  row must be bit-identical to the offline npz and ``/metrics`` must show
+  a nonzero ``serve.batch_coalesce_rate`` (the micro-batcher actually
+  coalesced under load).
 
 Usage::
 
     python scripts/ci.py             # all tiers
     python scripts/ci.py --tiers ab  # static + tests only
     python scripts/ci.py --skip d    # everything but the perf gate
+    python scripts/ci.py --tiers e --artifact-dir ci-artifacts
+                                     # serving smoke, keep trees on failure
 
 ``.github/workflows/ci.yml`` mirrors this entry point, so local ``make ci``
 and hosted CI can never drift apart.
@@ -38,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -50,6 +60,19 @@ SRC = REPO_ROOT / "src"
 SMOKE_ARGS = ["train-graph", "--method", "GraphCL", "--dataset", "MUTAG",
               "--epochs", "2", "--weight", "0.5", "--scale", "tiny",
               "--seed", "0"]
+
+#: Where failing smoke trees (journals, checkpoints, npz files) are copied
+#: so hosted CI can upload them as debugging artifacts.  None = discard.
+ARTIFACT_DIR: str | None = None
+
+
+def _preserve(tmp: str, status: int) -> int:
+    """On failure, keep the smoke working tree for artifact upload."""
+    if status and ARTIFACT_DIR:
+        dest = Path(ARTIFACT_DIR) / Path(tmp).name
+        shutil.copytree(tmp, dest, dirs_exist_ok=True)
+        print(f"  preserved failing smoke tree at {dest}")
+    return status
 
 
 def _env() -> dict:
@@ -142,19 +165,19 @@ def tier_c_smoke() -> int:
         status = _run([sys.executable, "-m", "repro.cli", *SMOKE_ARGS,
                        "--run-dir", run_dir])
         if status:
-            return status
+            return _preserve(tmp, status)
         status = _validate_smoke_journal(run_dir)
         if status:
-            return status
+            return _preserve(tmp, status)
         status = _run([sys.executable, "-m", "repro.cli", "report", run_dir],
                       stdout=subprocess.DEVNULL)
         if status:
-            return status
+            return _preserve(tmp, status)
         parallel_dir = str(Path(tmp) / "run-workers2")
         status = _run([sys.executable, "-m", "repro.cli", *SMOKE_ARGS,
                        "--workers", "2", "--run-dir", parallel_dir])
         if status:
-            return status
+            return _preserve(tmp, status)
         serial = _canonical_events(run_dir)
         parallel = _canonical_events(parallel_dir)
         if serial != parallel:
@@ -166,10 +189,10 @@ def tier_c_smoke() -> int:
                 if a != b:
                     print(f"    serial:   {a}\n    parallel: {b}")
                     break
-            return 1
+            return _preserve(tmp, 1)
         print(f"  parallel determinism ok: {len(serial)} canonical events "
               "identical at --workers 2")
-        return _resume_smoke(tmp)
+        return _preserve(tmp, _resume_smoke(tmp))
 
 
 RESUME_ARGS = ["run", "--method", "GraphCL", "--dataset", "MUTAG",
@@ -222,21 +245,139 @@ def tier_d_perf() -> int:
     return _run([sys.executable, "scripts/check_perf.py", "--strict"])
 
 
+SERVE_SMOKE_ARGS = ["run", "--method", "GraphCL", "--dataset", "MUTAG",
+                    "--scale", "tiny", "--seed", "0", "--weight", "0.5",
+                    "--epochs", "2", "--checkpoint-every", "2"]
+
+#: Serving smoke load shape: 32 requests fired from 4 client threads.
+SERVE_SMOKE_REQUESTS = 32
+SERVE_SMOKE_CLIENTS = 4
+
+
+def _serving_load_check(run_dir: str, offline_npz: str) -> int:
+    """Concurrent ``/embed`` load must match ``repro embed`` byte for byte.
+
+    Starts the real HTTP stack in-process (``ThreadingHTTPServer`` on an
+    OS-assigned port), fires :data:`SERVE_SMOKE_REQUESTS` single-graph
+    requests from :data:`SERVE_SMOKE_CLIENTS` threads, and asserts
+
+    * every served row equals the offline npz row bit for bit (JSON float
+      serialization round-trips exactly, so equality is byte equality);
+    * ``/metrics`` reports a nonzero coalesce rate — a generous 50 ms
+      batching window guarantees concurrent requests actually share
+      forwards, even on a single-core runner;
+    * ``/healthz`` answers ok.
+    """
+    sys.path.insert(0, str(SRC))
+    import json
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+    from urllib.request import Request, urlopen
+
+    import numpy as np
+
+    from repro.datasets import load_tu_dataset
+    from repro.serve import (EmbeddingService, FrozenEncoder, make_server,
+                             payload_from_graph)
+
+    encoder = FrozenEncoder.from_checkpoint(run_dir)
+    config = encoder.config
+    graphs = load_tu_dataset(config.dataset, scale=config.scale,
+                             seed=config.seed).graphs
+    with np.load(offline_npz) as archive:
+        offline = archive["embeddings"]
+
+    failures = []
+    service = EmbeddingService(encoder, max_batch_size=16, max_wait_ms=50.0,
+                               queue_size=256)
+    server = make_server(service, port=0)
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        def hit(i: int):
+            idx = i % len(graphs)
+            body = json.dumps(
+                {"graphs": [payload_from_graph(graphs[idx])]}).encode()
+            request = Request(f"http://{host}:{port}/embed", data=body,
+                              headers={"Content-Type": "application/json"})
+            with urlopen(request, timeout=120) as response:
+                payload = json.loads(response.read())
+            return idx, np.asarray(payload["embeddings"],
+                                   dtype=offline.dtype)
+
+        with ThreadPoolExecutor(max_workers=SERVE_SMOKE_CLIENTS) as pool:
+            results = list(pool.map(hit, range(SERVE_SMOKE_REQUESTS)))
+        mismatched = sorted({idx for idx, rows in results
+                             if not np.array_equal(rows[0], offline[idx])})
+        if mismatched:
+            failures.append("served embeddings differ from the offline "
+                            f"`repro embed` rows for graphs {mismatched}")
+        with urlopen(f"http://{host}:{port}/metrics", timeout=30) as resp:
+            metrics = json.loads(resp.read())
+        coalesce_rate = metrics.get("serve.batch_coalesce_rate", 0.0)
+        if not coalesce_rate:
+            failures.append("micro-batcher never coalesced "
+                            f"({SERVE_SMOKE_REQUESTS} concurrent requests "
+                            "but serve.batch_coalesce_rate == 0)")
+        with urlopen(f"http://{host}:{port}/healthz", timeout=30) as resp:
+            health = json.loads(resp.read())
+        if health.get("status") != "ok":
+            failures.append(f"healthz not ok: {health}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    for failure in failures:
+        print(f"  serving check failed: {failure}")
+    if not failures:
+        print(f"  serving ok: {SERVE_SMOKE_REQUESTS} concurrent requests "
+              "from "
+              f"{SERVE_SMOKE_CLIENTS} threads bit-identical to the offline "
+              f"path, coalesce rate {coalesce_rate:.2f}, "
+              f"{metrics.get('serve.batches', 0)} forward batch(es)")
+    return len(failures)
+
+
+def tier_e_serving() -> int:
+    """Serving smoke: checkpointed run -> offline embed -> HTTP load."""
+    with tempfile.TemporaryDirectory(prefix="repro-ci-serve-") as tmp:
+        run_dir = str(Path(tmp) / "run")
+        status = _run([sys.executable, "-m", "repro.cli", *SERVE_SMOKE_ARGS,
+                       "--run-dir", run_dir])
+        if status:
+            return _preserve(tmp, status)
+        offline_npz = str(Path(tmp) / "embeddings.npz")
+        status = _run([sys.executable, "-m", "repro.cli", "embed",
+                       "--run-dir", run_dir, "--out", offline_npz])
+        if status:
+            return _preserve(tmp, status)
+        return _preserve(tmp, _serving_load_check(run_dir, offline_npz))
+
+
 TIERS = {
     "a": ("static checks (compileall + lint_repro)", tier_a_static),
     "b": ("tier-1 tests (-m 'not slow')", tier_b_tests),
     "c": ("telemetry smoke train + journal schema", tier_c_smoke),
     "d": ("perf gate vs BENCH_tensor.json (--strict)", tier_d_perf),
+    "e": ("serving smoke (concurrent /embed vs offline)", tier_e_serving),
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tiers", default="abcd",
-                        help="which tiers to run, in order (default: abcd)")
+    parser.add_argument("--tiers", default="abcde",
+                        help="which tiers to run, in order (default: abcde)")
     parser.add_argument("--skip", default="",
                         help="tiers to drop from the selection")
+    parser.add_argument("--artifact-dir", default=None,
+                        help="keep failing smoke trees (run dirs, journals, "
+                             "npz files) under this directory for upload")
     args = parser.parse_args(argv)
+
+    global ARTIFACT_DIR
+    ARTIFACT_DIR = args.artifact_dir
+    if ARTIFACT_DIR:
+        Path(ARTIFACT_DIR).mkdir(parents=True, exist_ok=True)
 
     selected = [t for t in args.tiers if t not in args.skip]
     unknown = [t for t in selected if t not in TIERS]

@@ -24,6 +24,16 @@ deterministic:
    added — query ``repro.run.registry.method_names()`` instead.
    ``__all__`` assignments are exempt (re-export lists name classes, not
    runnable methods).
+5. **No ``time.sleep()`` in the library outside ``serve/``** — training,
+   evaluation, and the pipeline are deterministic compute; a sleep is
+   either a latent flake (polling) or dead weight.  Only the serving
+   subsystem legitimately trades wall-clock for batching (the
+   micro-batcher's coalescing window).
+6. **No ``threading.Thread(`` outside ``serve/`` and ``pipeline/``** —
+   the worker-determinism story depends on every thread being owned by
+   one of the two audited subsystems (the pipeline's deterministic
+   worker pool, the serving stack's batcher/handler threads).  Ad-hoc
+   threads elsewhere bypass both audits.
 
 Exit status is the number of violations (0 = clean).  Run from the repo
 root::
@@ -50,6 +60,36 @@ NP_RANDOM_ALLOWED = {LIBRARY / "utils" / "seed.py",
 
 # The registry is the single place allowed to enumerate methods by name.
 METHOD_LIST_ALLOWED = {LIBRARY / "run" / "registry.py"}
+
+# Subsystems allowed to sleep (batching windows) or start threads (audited
+# worker pools); everything else in the library must stay single-threaded
+# and non-blocking.
+SLEEP_ALLOWED_DIRS = (LIBRARY / "serve",)
+THREAD_ALLOWED_DIRS = (LIBRARY / "serve", LIBRARY / "pipeline")
+
+
+def _under(path: Path, dirs: tuple[Path, ...]) -> bool:
+    return any(d in path.parents for d in dirs)
+
+
+def _is_time_sleep_call(node: ast.Call) -> bool:
+    """Match ``time.sleep(...)`` / bare ``sleep(...)`` from time."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"):
+        return True
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+def _is_thread_constructor(node: ast.Call) -> bool:
+    """Match ``threading.Thread(...)`` / bare ``Thread(...)``."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "Thread"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"):
+        return True
+    return isinstance(func, ast.Name) and func.id == "Thread"
 
 #: Every name registered via ``@register_method`` — a literal list/tuple/
 #: set containing two or more of these outside the registry is a stale-
@@ -130,6 +170,24 @@ def check_file(path: Path) -> list[str]:
                 f"{rel}:{node.lineno}: bare np.random.{node.func.attr}() — "
                 "route RNG through repro.utils.seed / repro.pipeline.seeding "
                 "(global-RNG use breaks worker determinism)")
+        if (LIBRARY in path.parents
+                and not _under(path, SLEEP_ALLOWED_DIRS)
+                and isinstance(node, ast.Call)
+                and _is_time_sleep_call(node)):
+            problems.append(
+                f"{rel}:{node.lineno}: time.sleep() outside repro.serve — "
+                "library code must not block on wall-clock (polling sleeps "
+                "are latent flakes); only the micro-batcher's coalescing "
+                "window may wait")
+        if (LIBRARY in path.parents
+                and not _under(path, THREAD_ALLOWED_DIRS)
+                and isinstance(node, ast.Call)
+                and _is_thread_constructor(node)):
+            problems.append(
+                f"{rel}:{node.lineno}: threading.Thread() outside "
+                "repro.serve / repro.pipeline — threads belong to the "
+                "audited worker pools; ad-hoc threads bypass the "
+                "determinism contract")
     return problems
 
 

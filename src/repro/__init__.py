@@ -27,8 +27,8 @@ Quickstart::
 __version__ = "0.1.0"
 
 from . import augment, baselines, core, datasets, eval, gnn, graph, losses
-from . import methods, nn, obs, pipeline, run, tensor, utils
+from . import methods, nn, obs, pipeline, run, serve, tensor, utils
 
 __all__ = ["augment", "baselines", "core", "datasets", "eval", "gnn",
            "graph", "losses", "methods", "nn", "obs", "pipeline", "run",
-           "tensor", "utils", "__version__"]
+           "serve", "tensor", "utils", "__version__"]

@@ -27,7 +27,17 @@ Subcommands
 ``report``
     Render the JSONL telemetry journal of a ``--run-dir`` training run as
     text tables (config, per-epoch losses/grad-norms/throughput, collapse
-    spectrum, span timings, engine counters).
+    spectrum, span timings, engine counters, metric snapshots — including
+    the serving counters a ``repro serve`` session journals).
+``serve``
+    Embedding inference service: load a frozen encoder from a
+    checkpointed run directory and serve ``/embed`` / ``/healthz`` /
+    ``/metrics`` over HTTP with dynamic micro-batching, an embedding LRU
+    cache, and bounded-queue load shedding.
+``embed``
+    Offline bulk embedding: run the same frozen encoder over a whole
+    dataset and write ``embeddings.npz`` (the byte-exact reference for
+    the served numbers).
 
 Examples::
 
@@ -42,6 +52,8 @@ Examples::
     repro spectrum --dataset IMDB-B --weight 0.5
     repro sweep --method SimGRACE --weights 0.0 0.5 1.0
     repro flow --weight 0.5
+    repro serve --run-dir runs/exp1 --port 8080 --max-wait-ms 5
+    repro embed --run-dir runs/exp1 --out embeddings.npz
 """
 
 from __future__ import annotations
@@ -189,7 +201,55 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("run_dir", help="directory holding events.jsonl")
     rp.add_argument("--spectrum-top", type=int, default=8,
                     help="how many leading singular values to print")
+
+    sv = sub.add_parser("serve",
+                        help="serve embeddings from a checkpointed run "
+                             "over HTTP with dynamic micro-batching")
+    sv.add_argument("--run-dir", required=True,
+                    help="run directory holding config.json + checkpoint "
+                         "(written by repro run --checkpoint-every)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8080,
+                    help="listen port (0 picks a free one)")
+    _add_inference_arguments(sv)
+    sv.add_argument("--max-batch-size", type=int, default=64,
+                    help="coalesce at most this many graphs per forward")
+    sv.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="how long a forward holds for follower requests")
+    sv.add_argument("--queue-size", type=int, default=128,
+                    help="bounded request queue; beyond it requests shed "
+                         "with HTTP 429 instead of queueing latency")
+    sv.add_argument("--cache-entries", type=int, default=None,
+                    help="embedding LRU bound (0 disables the cache; "
+                         "default: REPRO_EMBED_CACHE or 4096)")
+    sv.add_argument("--journal-dir", default=None,
+                    help="append a serving metrics event to this journal "
+                         "directory on shutdown")
+
+    em = sub.add_parser("embed",
+                        help="bulk-embed a dataset with a checkpointed "
+                             "encoder into an .npz file")
+    em.add_argument("--run-dir", required=True,
+                    help="run directory holding config.json + checkpoint")
+    em.add_argument("--out", required=True,
+                    help="output .npz path (embeddings + labels + "
+                         "provenance)")
+    em.add_argument("--dataset", default=None,
+                    help="dataset to embed (default: the one the "
+                         "checkpoint was trained on)")
+    em.add_argument("--scale", choices=_SCALES, default=None)
+    em.add_argument("--seed", type=int, default=None)
+    em.add_argument("--batch-size", type=int, default=128,
+                    help="graphs per block-diagonal forward chunk")
+    _add_inference_arguments(em)
     return parser
+
+
+def _add_inference_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--dtype", choices=["float32", "float64"],
+                     default="float32",
+                     help="inference dtype (float32 serves ~2x faster; "
+                          "float64 reproduces training-precision numbers)")
 
 
 def _add_cache_arguments(sub: argparse.ArgumentParser) -> None:
@@ -409,9 +469,66 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import EmbeddingService, FrozenEncoder, make_server
+
+    encoder = FrozenEncoder.from_checkpoint(args.run_dir, dtype=args.dtype)
+    service = EmbeddingService(encoder,
+                               max_batch_size=args.max_batch_size,
+                               max_wait_ms=args.max_wait_ms,
+                               queue_size=args.queue_size,
+                               cache_entries=args.cache_entries)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    info = encoder.describe()
+    print(f"serving {info['method']}(a={info['gradgcl_weight']}) "
+          f"[{info['dataset']}, {info['embedding_dim']}-d {info['dtype']}] "
+          f"on http://{host}:{port}  (POST /embed, GET /healthz /metrics; "
+          "Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        snapshot = service.metrics_snapshot()
+        if args.journal_dir is not None:
+            from repro.obs import RunJournal
+
+            with RunJournal(args.journal_dir, append=True) as journal:
+                journal.log("metrics", **snapshot)
+                journal.log("note",
+                            message="repro serve session closed",
+                            config_hash=encoder.config_hash)
+        requests = snapshot.get("serve.requests", 0)
+        batches = snapshot.get("serve.batches", 0)
+        shed = snapshot.get("serve.shed", 0)
+        print(f"\nserved {requests} request(s) in {batches} forward "
+              f"batch(es), shed {shed}")
+    return 0
+
+
+def _cmd_embed(args) -> int:
+    from repro.serve import embed_dataset
+
+    summary = embed_dataset(args.run_dir, args.out, dataset=args.dataset,
+                            scale=args.scale, seed=args.seed,
+                            batch_size=args.batch_size, dtype=args.dtype)
+    print(f"embedded {summary['num_graphs']} {summary['dataset']} graphs "
+          f"({summary['scale']}, seed {summary['seed']}) into "
+          f"{summary['dim']}-d {summary['dtype']} rows -> {summary['out']} "
+          f"[config {summary['config_hash']}]")
+    return 0
+
+
 def _fmt(value, digits: int = 4) -> str:
     if isinstance(value, float):
         return f"{value:.{digits}g}"
+    if isinstance(value, dict):
+        # Histogram snapshots ({count, total, mean, p50, p95}) and other
+        # structured metric values render as compact k=v lists.
+        return "  ".join(f"{k}={_fmt(v)}" for k, v in value.items())
     return str(value)
 
 
@@ -470,6 +587,16 @@ def _cmd_report(args) -> int:
                 if key not in ("event", "ts")]
         print_table("Tensor engine", ["Counter", "Value"], rows)
 
+    for met in events_of(events, "metrics"):
+        # Render every key generically (structure-cache counters, serving
+        # counters, future instruments) instead of dropping unknown names.
+        rows = [[key, _fmt(value)] for key, value in sorted(met.items())
+                if key not in ("event", "ts")]
+        title = ("Serving metrics"
+                 if any(key.startswith("serve.") for key in met)
+                 else "Metrics")
+        print_table(title, ["Name", "Value"], rows)
+
     for table in events_of(events, "bench_table"):
         print_table(table.get("title", table.get("name", "bench")),
                     table.get("headers", []), table.get("rows", []))
@@ -490,6 +617,8 @@ _COMMANDS = {
     "flow": _cmd_flow,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "embed": _cmd_embed,
 }
 
 

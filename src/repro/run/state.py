@@ -87,6 +87,10 @@ class TrainState:
             "format_version": _FORMAT_VERSION,
             "epoch": int(epoch),
             "config_hash": trainer.config_hash,
+            # Input width: lets repro.serve rebuild the method without
+            # reloading the training dataset.  Optional for compatibility
+            # with snapshots written before the serving subsystem.
+            "num_features": getattr(trainer.strategy, "num_features", None),
             "adam_t": int(optimizer._t),
             "adam_lr": float(optimizer.lr),
             "loader_rng": trainer.strategy.rng_state(),

@@ -174,6 +174,11 @@ class GraphSteps:
 
     throughput_unit = "graphs"
 
+    @property
+    def num_features(self) -> int:
+        """Input feature width (recorded in checkpoints for serving)."""
+        return int(self.graphs[0].num_features)
+
     def embed(self, method) -> np.ndarray:
         return method.embed(self.graphs)
 
@@ -208,6 +213,11 @@ class NodeSteps:
         return graph.num_nodes
 
     throughput_unit = "nodes"
+
+    @property
+    def num_features(self) -> int:
+        """Input feature width (recorded in checkpoints for serving)."""
+        return int(self.graph.num_features)
 
     def embed(self, method) -> np.ndarray:
         return method.embed(self.graph)

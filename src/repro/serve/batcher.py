@@ -1,0 +1,219 @@
+"""Dynamic micro-batching: coalesce concurrent embed requests into one forward.
+
+Serving traffic arrives as many small requests; the encoder is fastest on
+one large block-diagonal :class:`~repro.graph.GraphBatch` forward (the
+per-forward python/scipy overhead dominates for small graphs).  The
+:class:`MicroBatcher` bridges the two: requests enter a bounded FIFO, a
+single worker thread takes the oldest request and then keeps collecting
+followers for at most ``max_wait_ms`` (or until ``max_batch_size`` graphs
+are gathered), runs one forward over the coalesced graph list, and
+scatters the embedding rows back to the waiting callers.
+
+Correctness rests on the :class:`~repro.serve.FrozenEncoder` determinism
+contract: each graph's embedding is bit-identical regardless of batch
+composition, so coalescing is numerically invisible — a request gets the
+same bytes whether it rode alone, with its own batch, or sandwiched
+between strangers.
+
+Backpressure is explicit: when the queue is full, :meth:`submit` sheds the
+request immediately with :class:`ServiceOverloaded` instead of queueing
+unbounded latency.  Callers (the HTTP front end maps this to 429) retry or
+back off; the ``serve.shed`` counter records every rejection.
+
+This module and :mod:`repro.pipeline` are the only places in the library
+allowed to start threads (``scripts/lint_repro.py`` enforces it): the
+worker is a daemon, teardown is explicit via :meth:`close`, and in-flight
+requests are always answered before the worker exits.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..obs import MetricRegistry
+
+__all__ = ["MicroBatcher", "ServiceOverloaded"]
+
+DEFAULT_MAX_BATCH_SIZE = 64
+DEFAULT_MAX_WAIT_MS = 2.0
+DEFAULT_QUEUE_SIZE = 128
+
+
+class ServiceOverloaded(RuntimeError):
+    """The request queue is full; the caller should back off and retry."""
+
+
+class _Pending:
+    """One in-flight request: graphs in, an embedding block (or error) out."""
+
+    __slots__ = ("graphs", "done", "result", "error")
+
+    def __init__(self, graphs):
+        self.graphs = list(graphs)
+        self.done = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+    def resolve(self, result: np.ndarray | None,
+                error: BaseException | None = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+_SENTINEL = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent embed requests into block-diagonal forwards.
+
+    Parameters
+    ----------
+    forward:
+        ``graphs -> (n, d) ndarray``; typically
+        :meth:`repro.serve.FrozenEncoder.embed`.  Runs only on the worker
+        thread, so it needs no internal locking.
+    max_batch_size:
+        Stop coalescing once this many *graphs* are gathered.  The batch
+        that crosses the line still executes whole (requests are never
+        split), so a single oversized request works — it just forms its
+        own batch.
+    max_wait_ms:
+        How long the worker holds the first request of a batch open for
+        followers.  ``0`` disables waiting: each forward takes exactly
+        what is already queued.
+    queue_size:
+        Bound on queued (not yet batched) requests; beyond it
+        :meth:`submit` sheds with :class:`ServiceOverloaded`.
+    metrics:
+        Shared :class:`MetricRegistry` for the ``serve.*`` instruments.
+    """
+
+    def __init__(self, forward: Callable[[Sequence], np.ndarray], *,
+                 max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+                 max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 metrics: MetricRegistry | None = None):
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {queue_size}")
+        self._forward = forward
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._closed = threading.Event()
+        self._worker = threading.Thread(target=self._loop,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    def submit(self, graphs: Sequence) -> np.ndarray:
+        """Embed ``graphs``; blocks until the coalesced forward resolves.
+
+        Raises :class:`ServiceOverloaded` immediately when the queue is
+        full (load shedding — bounded latency beats unbounded queueing)
+        and re-raises any exception the forward raised for this batch.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("MicroBatcher is closed")
+        if len(graphs) == 0:
+            raise ValueError("cannot embed an empty list of graphs")
+        pending = _Pending(graphs)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self.metrics.counter("serve.shed").inc()
+            raise ServiceOverloaded(
+                f"embed queue is full ({self._queue.maxsize} requests "
+                "waiting); retry with backoff or raise --queue-size"
+            ) from None
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is _SENTINEL:
+                return
+            batch = [head]
+            total = len(head.graphs)
+            stop = False
+            deadline = time.monotonic() + self.max_wait_s
+            while total < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Even with no time left, drain whatever is already
+                    # queued — coalescing what exists costs no latency.
+                    try:
+                        follower = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                else:
+                    try:
+                        follower = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if follower is _SENTINEL:
+                    stop = True
+                    break
+                batch.append(follower)
+                total += len(follower.graphs)
+            self._execute(batch, total)
+            if stop:
+                return
+
+    def _execute(self, batch: list[_Pending], total: int) -> None:
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch.graphs").observe(total)
+        self.metrics.histogram("serve.batch.requests").observe(len(batch))
+        if len(batch) > 1:
+            self.metrics.counter("serve.coalesced_requests").inc(len(batch))
+        graphs = [graph for pending in batch for graph in pending.graphs]
+        try:
+            embeddings = self._forward(graphs)
+        except BaseException as exc:  # propagate to every waiting caller
+            for pending in batch:
+                pending.resolve(None, exc)
+            return
+        offset = 0
+        for pending in batch:
+            rows = embeddings[offset:offset + len(pending.graphs)]
+            offset += len(pending.graphs)
+            pending.resolve(rows)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting requests, drain the queue, join the worker."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        # Blocking put: the FIFO guarantees every request enqueued before
+        # the sentinel is answered before the worker exits.
+        self._queue.put(_SENTINEL)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

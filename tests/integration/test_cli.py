@@ -33,6 +33,15 @@ SUBCOMMAND_ARGS = {
               {"method": "GraphCL", "weights": [0.0, 0.5], "epochs": 15}),
     "report": (["report", "runs/x", "--spectrum-top", "4"],
                {"run_dir": "runs/x", "spectrum_top": 4}),
+    "serve": (["serve", "--run-dir", "runs/x", "--port", "8123",
+               "--max-batch-size", "32", "--max-wait-ms", "5"],
+              {"run_dir": "runs/x", "port": 8123, "host": "127.0.0.1",
+               "max_batch_size": 32, "max_wait_ms": 5.0,
+               "queue_size": 128, "dtype": "float32"}),
+    "embed": (["embed", "--run-dir", "runs/x", "--out", "emb.npz",
+               "--batch-size", "64", "--dtype", "float64"],
+              {"run_dir": "runs/x", "out": "emb.npz", "batch_size": 64,
+               "dtype": "float64", "dataset": None, "scale": None}),
 }
 
 
@@ -177,6 +186,25 @@ class TestRunCommand:
         assert main(["run", str(config_path), "--weight", "0.0"]) == 0
         out = capsys.readouterr().out
         assert "SimGRACE(a=0.0)" in out
+
+    def test_run_then_embed_offline(self, tmp_path, capsys):
+        import numpy as np
+
+        run_dir = tmp_path / "run"
+        out = tmp_path / "emb.npz"
+        assert main(["run", "--method", "GraphCL", "--dataset", "MUTAG",
+                     "--scale", "tiny", "--epochs", "2", "--hidden-dim",
+                     "8", "--checkpoint-every", "2", "--run-dir",
+                     str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(["embed", "--run-dir", str(run_dir), "--out",
+                     str(out)]) == 0
+        assert "embedded" in capsys.readouterr().out
+        with np.load(out) as archive:
+            embeddings = archive["embeddings"]
+            labels = archive["labels"]
+        assert embeddings.dtype == np.float32
+        assert embeddings.shape[0] == labels.shape[0] > 0
 
     def test_run_stop_after_prints_resume_hint(self, tmp_path, capsys):
         run_dir = tmp_path / "run"

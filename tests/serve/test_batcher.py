@@ -1,0 +1,223 @@
+"""MicroBatcher: coalescing, equivalence, backpressure, teardown."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.obs import MetricRegistry
+from repro.serve import MicroBatcher, ServiceOverloaded
+
+
+def make_graphs(count, num_features=4, seed=0):
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for _ in range(count):
+        n = int(rng.integers(2, 9))
+        iu = np.triu_indices(n, k=1)
+        mask = rng.random(len(iu[0])) < 0.5
+        edges = np.stack([iu[0][mask], iu[1][mask]], axis=1)
+        graphs.append(Graph(n, edges, rng.normal(size=(n, num_features))))
+    return graphs
+
+
+def row_sum_forward(graphs):
+    """A cheap stand-in forward with the same per-graph-determinism
+    property as FrozenEncoder.embed: row i depends only on graph i."""
+    return np.stack([np.asarray(g.x).sum(axis=0) for g in graphs])
+
+
+class TestCoalescing:
+    def test_results_match_per_request_forwards(self):
+        graphs = make_graphs(12)
+        expected = row_sum_forward(graphs)
+        with MicroBatcher(row_sum_forward, max_batch_size=8,
+                          max_wait_ms=20.0) as batcher:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                rows = list(pool.map(
+                    lambda g: batcher.submit([g])[0], graphs))
+        assert np.array_equal(np.stack(rows), expected)
+
+    def test_concurrent_requests_share_forwards(self):
+        graphs = make_graphs(16)
+        metrics = MetricRegistry()
+        release = threading.Event()
+
+        def gated_forward(batch):
+            release.wait(timeout=10)
+            return row_sum_forward(batch)
+
+        with MicroBatcher(gated_forward, max_batch_size=16,
+                          max_wait_ms=50.0, metrics=metrics) as batcher:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [pool.submit(batcher.submit, [g])
+                           for g in graphs]
+                release.set()
+                for future in futures:
+                    future.result(timeout=30)
+        snapshot = metrics.snapshot()
+        assert snapshot["serve.coalesced_requests"] > 0
+        assert snapshot["serve.batches"] < len(graphs)
+
+    def test_multi_graph_requests_never_split(self):
+        graphs = make_graphs(6)
+        with MicroBatcher(row_sum_forward, max_batch_size=2,
+                          max_wait_ms=0.0) as batcher:
+            # 6 graphs > max_batch_size: the request still rides whole.
+            out = batcher.submit(graphs)
+        assert np.array_equal(out, row_sum_forward(graphs))
+
+    def test_zero_wait_still_answers(self):
+        graphs = make_graphs(3)
+        with MicroBatcher(row_sum_forward, max_wait_ms=0.0) as batcher:
+            for graph in graphs:
+                assert np.array_equal(batcher.submit([graph]),
+                                      row_sum_forward([graph]))
+
+
+class TestBackpressure:
+    def test_full_queue_sheds(self):
+        metrics = MetricRegistry()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocking_forward(batch):
+            entered.set()
+            release.wait(timeout=10)
+            return row_sum_forward(batch)
+
+        graphs = make_graphs(4)
+        batcher = MicroBatcher(blocking_forward, max_batch_size=1,
+                               max_wait_ms=0.0, queue_size=1,
+                               metrics=metrics)
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                # First request occupies the worker inside the forward...
+                first = pool.submit(batcher.submit, [graphs[0]])
+                assert entered.wait(timeout=10)
+                # ...second fills the queue (the worker is busy)...
+                second = pool.submit(batcher.submit, [graphs[1]])
+                deadline = threading.Event()
+                while batcher._queue.empty() and not second.done():
+                    if deadline.wait(timeout=0.01):  # pragma: no cover
+                        break
+                # ...third finds it full and must shed immediately.
+                with pytest.raises(ServiceOverloaded, match="queue-size"):
+                    batcher.submit([graphs[2]])
+                release.set()
+                first.result(timeout=30)
+                second.result(timeout=30)
+        finally:
+            release.set()
+            batcher.close()
+        assert metrics.snapshot()["serve.shed"] == 1
+
+    def test_forward_errors_propagate_to_callers(self):
+        calls = []
+
+        def flaky_forward(batch):
+            calls.append(len(batch))
+            if len(calls) == 1:
+                raise RuntimeError("engine on fire")
+            return row_sum_forward(batch)
+
+        graphs = make_graphs(2)
+        with MicroBatcher(flaky_forward, max_wait_ms=0.0) as batcher:
+            with pytest.raises(RuntimeError, match="engine on fire"):
+                batcher.submit([graphs[0]])
+            # The worker survives an erroring forward.
+            assert np.array_equal(batcher.submit([graphs[1]]),
+                                  row_sum_forward([graphs[1]]))
+
+    def test_closed_batcher_rejects(self):
+        batcher = MicroBatcher(row_sum_forward)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(make_graphs(1))
+
+    def test_close_drains_in_flight(self):
+        """Requests enqueued before close() are answered, not dropped."""
+        graphs = make_graphs(5)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_forward(batch):
+            entered.set()
+            release.wait(timeout=10)
+            return row_sum_forward(batch)
+
+        batcher = MicroBatcher(gated_forward, max_batch_size=1,
+                               max_wait_ms=0.0)
+        with ThreadPoolExecutor(max_workers=len(graphs) + 1) as pool:
+            head = pool.submit(batcher.submit, [graphs[0]])
+            assert entered.wait(timeout=10)   # worker is inside a forward
+            tail = [pool.submit(batcher.submit, [g]) for g in graphs[1:]]
+            while batcher._queue.qsize() < len(tail):
+                pass                          # all followers enqueued
+            closer = pool.submit(batcher.close)
+            release.set()
+            closer.result(timeout=30)
+            for graph, future in zip(graphs, [head, *tail]):
+                assert np.array_equal(future.result(timeout=30),
+                                      row_sum_forward([graph]))
+
+    def test_empty_request_rejected(self):
+        with MicroBatcher(row_sum_forward) as batcher:
+            with pytest.raises(ValueError, match="empty"):
+                batcher.submit([])
+
+
+@pytest.mark.slow
+class TestBatchInvarianceProperty:
+    """Hypothesis: block-diagonal coalesced forwards == per-graph forwards
+    through a real frozen encoder, for arbitrary request shapes, arrival
+    orders, and batcher settings."""
+
+    @classmethod
+    def setup_class(cls):
+        from repro.methods import GraphCL
+        from repro.serve import FrozenEncoder
+        from repro.tensor import autocast
+
+        cls.graphs = make_graphs(24, num_features=4, seed=7)
+        with autocast("float32"):
+            method = GraphCL(4, hidden_dim=8, num_layers=2,
+                             rng=np.random.default_rng(0))
+        cls.encoder = FrozenEncoder(method, num_features=4)
+        cls.singles = np.concatenate(
+            [cls.encoder.embed([g]) for g in cls.graphs])
+
+    def test_arbitrary_arrivals_match_per_graph_forwards(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        graphs, singles, encoder = self.graphs, self.singles, self.encoder
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            order=st.permutations(range(len(graphs))),
+            cuts=st.sets(st.integers(1, len(graphs) - 1), max_size=6),
+            max_batch_size=st.integers(1, 32),
+            max_wait_ms=st.sampled_from([0.0, 0.5, 5.0]),
+            workers=st.integers(1, 6),
+        )
+        def check(order, cuts, max_batch_size, max_wait_ms, workers):
+            # Partition the shuffled indices into contiguous requests.
+            bounds = [0, *sorted(cuts), len(order)]
+            requests = [order[a:b] for a, b in zip(bounds, bounds[1:])
+                        if b > a]
+            with MicroBatcher(encoder.embed,
+                              max_batch_size=max_batch_size,
+                              max_wait_ms=max_wait_ms,
+                              queue_size=len(requests) + 1) as batcher:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(
+                        lambda idxs: batcher.submit(
+                            [graphs[i] for i in idxs]),
+                        requests))
+            for idxs, block in zip(requests, results):
+                assert np.array_equal(block, singles[list(idxs)])
+
+        check()

@@ -1,0 +1,132 @@
+"""HTTP front end: real sockets, JSON round-trips, error mapping."""
+
+import json
+import threading
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import numpy as np
+import pytest
+
+from repro.methods import GraphCL
+from repro.serve import (
+    EmbeddingService,
+    FrozenEncoder,
+    graph_from_payload,
+    make_server,
+    payload_from_graph,
+)
+from repro.tensor import autocast
+
+from .test_batcher import make_graphs
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A live server on an OS-assigned port, torn down after the module."""
+    with autocast("float32"):
+        method = GraphCL(4, hidden_dim=8, num_layers=2,
+                         rng=np.random.default_rng(0))
+    encoder = FrozenEncoder(method, num_features=4)
+    service = EmbeddingService(encoder, max_wait_ms=5.0)
+    server = make_server(service, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    yield encoder, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def post_embed(base, graphs):
+    body = json.dumps(
+        {"graphs": [payload_from_graph(g) for g in graphs]}).encode()
+    request = Request(f"{base}/embed", data=body,
+                      headers={"Content-Type": "application/json"})
+    with urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+class TestPayloadCodec:
+    def test_round_trip(self):
+        graph = make_graphs(1, seed=5)[0]
+        back = graph_from_payload(payload_from_graph(graph))
+        assert back.num_nodes == graph.num_nodes
+        assert np.array_equal(back.edges, graph.edges)
+        assert np.array_equal(back.x, graph.x)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            graph_from_payload({"num_nodes": 2})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            graph_from_payload([1, 2])
+
+    def test_ragged_features_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_payload({"num_nodes": 2, "edges": [],
+                                "x": [[1.0], [1.0, 2.0]]})
+
+
+class TestEndpoints:
+    def test_healthz(self, stack):
+        _, base = stack
+        with urlopen(f"{base}/healthz", timeout=30) as response:
+            health = json.loads(response.read())
+        assert health["status"] == "ok"
+        assert health["num_features"] == 4
+
+    def test_embed_bit_identical_to_offline(self, stack):
+        """JSON floats round-trip exactly: served bytes == offline bytes."""
+        encoder, base = stack
+        graphs = make_graphs(5, seed=11)
+        offline = encoder.embed(graphs)
+        payload = post_embed(base, graphs)
+        served = np.asarray(payload["embeddings"], dtype=offline.dtype)
+        assert np.array_equal(served, offline)
+        assert payload["count"] == 5
+        assert payload["dim"] == offline.shape[1]
+
+    def test_metrics_endpoint(self, stack):
+        _, base = stack
+        post_embed(base, make_graphs(2, seed=13))
+        with urlopen(f"{base}/metrics", timeout=30) as response:
+            metrics = json.loads(response.read())
+        assert metrics["serve.requests"] >= 1
+        assert "serve.batch_coalesce_rate" in metrics
+
+    def test_malformed_body_is_400(self, stack):
+        _, base = stack
+        request = Request(f"{base}/embed", data=b"not json",
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_empty_graph_list_is_400(self, stack):
+        _, base = stack
+        request = Request(f"{base}/embed",
+                          data=json.dumps({"graphs": []}).encode(),
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_wrong_feature_width_is_400(self, stack):
+        _, base = stack
+        wrong = {"num_nodes": 1, "edges": [], "x": [[1.0, 2.0]]}
+        request = Request(f"{base}/embed",
+                          data=json.dumps({"graphs": [wrong]}).encode(),
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "node features" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_path_is_404(self, stack):
+        _, base = stack
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(f"{base}/nope", timeout=30)
+        assert excinfo.value.code == 404

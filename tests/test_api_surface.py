@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.eval",
     "repro.utils",
     "repro.run",
+    "repro.serve",
 ]
 
 
