@@ -29,12 +29,17 @@ Two checks, both run by CI tier (d):
 * **Serving acceptance** — static validation of the committed
   ``BENCH_serve.json`` (``benchmarks/bench_serve.py``): the batched-vs-
   sequential equivalence boolean must be true (micro-batched rows are
-  bit-identical to one-forward-per-request rows), the micro-batcher must
-  have actually coalesced (nonzero coalesce rate), and on multi-core
-  baselines the batched path must be >=2x the sequential throughput.
-  Single-core baselines carry a ``parallel_note`` and gate on
-  equivalence + coalescing only (though in practice amortization alone
-  clears 2x even there).
+  bit-identical to one-forward-per-request rows), the plan-vs-eager
+  equivalence boolean must be true (captured-plan replays are
+  bit-identical to the eager forwards they replace — this is a hard fail
+  on every box, no hardware condition), the micro-batcher must have
+  actually coalesced (nonzero coalesce rate), the plan cache must have
+  actually replayed with zero verify failures, and on multi-core
+  baselines the batched path must be >=2x the sequential throughput and
+  the plan-replay path >=1.3x the eager steady-state ``/embed``
+  throughput.  Single-core baselines carry a ``parallel_note`` and gate
+  on the equivalence/replay checks only (wall-clock on a contended
+  single core is too noisy for a floor).
 
 By default the exit code is always 0 — wall-clock on a developer's shared
 box is too noisy for a hard local gate, but the warning makes regressions
@@ -70,8 +75,10 @@ SERIAL_MAX_REGRESSION = 1.15
 EVAL_SERIAL_MIN_SPEEDUP = {"svm": 2.0, "logreg": 1.5}
 EVAL_PARALLEL_MIN_SPEEDUP = 3.0
 
-# Acceptance floor for the serving stack (micro-batched vs sequential).
+# Acceptance floors for the serving stack: micro-batched vs sequential,
+# and captured-plan replay vs the eager forward it replaces.
 SERVE_MIN_SPEEDUP = 2.0
+PLAN_MIN_SPEEDUP = 1.3
 
 sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -174,20 +181,43 @@ def check_serve_baseline() -> int:
     failures += status == "FAIL"
     print(f"{'serve equivalence':24s} identical={identical}  {status}")
 
+    # Replay==eager is the plan executor's core contract: a false here is
+    # a correctness bug, so it hard-fails regardless of the baseline box.
+    plan_identical = payload["equivalence"]["plan_vs_eager"]
+    status = "ok" if plan_identical else "FAIL"
+    failures += status == "FAIL"
+    print(f"{'plan equivalence':24s} identical={plan_identical}  {status}")
+
     coalesce = payload["batched"]["coalesce_rate"]
     status = "ok" if coalesce > 0 else "FAIL"
     failures += status == "FAIL"
     print(f"{'serve coalescing':24s} rate={coalesce:.2f} (floor >0)  "
           f"{status}")
 
+    plan = payload["plan_replay"]
+    replayed = plan["replays"] > 0 and plan["verify_failures"] == 0
+    status = "ok" if replayed else "FAIL"
+    failures += status == "FAIL"
+    print(f"{'plan replays':24s} replays={plan['replays']} "
+          f"verify_failures={plan['verify_failures']} "
+          f"(floor >0 replays, 0 failures)  {status}")
+
     speedup = payload["batched"]["speedup_vs_sequential"]
+    plan_speedup = plan["speedup_vs_eager"]
     if cpu_count > 1:
         status = "ok" if speedup >= SERVE_MIN_SPEEDUP else "FAIL"
         failures += status == "FAIL"
         print(f"{'serve batched':24s} speedup={speedup:.2f}x "
               f"(floor {SERVE_MIN_SPEEDUP:.1f}x)  {status}")
+        status = "ok" if plan_speedup >= PLAN_MIN_SPEEDUP else "FAIL"
+        failures += status == "FAIL"
+        print(f"{'plan replay':24s} speedup={plan_speedup:.2f}x "
+              f"(floor {PLAN_MIN_SPEEDUP:.1f}x)  {status}")
     else:
         print(f"{'serve batched':24s} speedup={speedup:.2f}x "
+              f"(floor skipped: baseline recorded on "
+              f"cpu_count={cpu_count})")
+        print(f"{'plan replay':24s} speedup={plan_speedup:.2f}x "
               f"(floor skipped: baseline recorded on "
               f"cpu_count={cpu_count})")
     return failures

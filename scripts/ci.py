@@ -27,9 +27,12 @@ Tiers run in order and the gate stops at the first failure:
 * **e — serving smoke**: a 2-epoch checkpointed run, ``repro embed`` to an
   npz, then an in-process :class:`repro.serve.EmbeddingHTTPServer` hit
   with 32 concurrent ``/embed`` requests from 4 threads — every served
-  row must be bit-identical to the offline npz and ``/metrics`` must show
+  row must be bit-identical to the offline npz, ``/metrics`` must show
   a nonzero ``serve.batch_coalesce_rate`` (the micro-batcher actually
-  coalesced under load).
+  coalesced under load), and a follow-up burst of same-shape requests
+  must drive ``plan.replays > 0`` with rows byte-identical to a
+  plan-disabled eager encoder (the captured-plan executor is live and
+  invisible).
 
 Usage::
 
@@ -266,6 +269,10 @@ def _serving_load_check(run_dir: str, offline_npz: str) -> int:
     * ``/metrics`` reports a nonzero coalesce rate — a generous 50 ms
       batching window guarantees concurrent requests actually share
       forwards, even on a single-core runner;
+    * after a burst of same-shape requests, ``/metrics`` shows
+      ``plan.replays > 0`` (steady-state traffic really replays captured
+      plans) and the replayed rows equal a plan-disabled eager encoder's
+      rows byte for byte;
     * ``/healthz`` answers ok.
     """
     sys.path.insert(0, str(SRC))
@@ -277,6 +284,7 @@ def _serving_load_check(run_dir: str, offline_npz: str) -> int:
     import numpy as np
 
     from repro.datasets import load_tu_dataset
+    from repro.graph import Graph
     from repro.serve import (EmbeddingService, FrozenEncoder, make_server,
                              payload_from_graph)
 
@@ -319,6 +327,40 @@ def _serving_load_check(run_dir: str, offline_npz: str) -> int:
             failures.append("micro-batcher never coalesced "
                             f"({SERVE_SMOKE_REQUESTS} concurrent requests "
                             "but serve.batch_coalesce_rate == 0)")
+        # Steady-state plan replay: sequential single-graph requests with
+        # identical shapes but fresh features (so the embedding cache
+        # cannot absorb them) land in one plan bucket — capture on the
+        # first, verify on the second, replay from then on.
+        base = graphs[0]
+        rng = np.random.default_rng(0)
+        perturbed = [Graph(base.num_nodes, base.edges.copy(),
+                           base.x + rng.normal(scale=0.01, size=base.x.shape))
+                     for _ in range(4)]
+        served_rows = []
+        for graph in perturbed:
+            body = json.dumps(
+                {"graphs": [payload_from_graph(graph)]}).encode()
+            request = Request(f"http://{host}:{port}/embed", data=body,
+                              headers={"Content-Type": "application/json"})
+            with urlopen(request, timeout=120) as response:
+                payload = json.loads(response.read())
+            served_rows.append(np.asarray(payload["embeddings"],
+                                          dtype=offline.dtype)[0])
+        with urlopen(f"http://{host}:{port}/metrics", timeout=30) as resp:
+            metrics = json.loads(resp.read())
+        plan_replays = metrics.get("plan.replays", 0)
+        if not plan_replays:
+            failures.append("plan cache never replayed (4 same-shape "
+                            "requests but plan.replays == 0): "
+                            + str({k: v for k, v in metrics.items()
+                                   if k.startswith("plan.")}))
+        eager_encoder = FrozenEncoder.from_checkpoint(run_dir, plan_cache=0)
+        eager_rows = eager_encoder.embed(perturbed, batch_size=1)
+        for i, (served, eager) in enumerate(zip(served_rows, eager_rows)):
+            if not np.array_equal(served, eager):
+                failures.append(f"plan-replayed row {i} differs from the "
+                                "plan-disabled eager encoder")
+                break
         with urlopen(f"http://{host}:{port}/healthz", timeout=30) as resp:
             health = json.loads(resp.read())
         if health.get("status") != "ok":
@@ -334,7 +376,8 @@ def _serving_load_check(run_dir: str, offline_npz: str) -> int:
               "from "
               f"{SERVE_SMOKE_CLIENTS} threads bit-identical to the offline "
               f"path, coalesce rate {coalesce_rate:.2f}, "
-              f"{metrics.get('serve.batches', 0)} forward batch(es)")
+              f"{metrics.get('serve.batches', 0)} forward batch(es), "
+              f"{plan_replays} plan replay(s) bit-identical to eager")
     return len(failures)
 
 

@@ -34,6 +34,11 @@ deterministic:
    one of the two audited subsystems (the pipeline's deterministic
    worker pool, the serving stack's batcher/handler threads).  Ad-hoc
    threads elsewhere bypass both audits.
+7. **No branching on ``use_fused()`` outside the op registry**
+   (``tensor/registry.py``) — kernel selection is the registry's job
+   (PR 9); an ``if use_fused():`` at a call site reintroduces the
+   scattered dual-implementation dispatch the registry replaced.
+   Reading the value (telemetry) is fine; branching on it is not.
 
 Exit status is the number of violations (0 = clean).  Run from the repo
 root::
@@ -66,6 +71,9 @@ METHOD_LIST_ALLOWED = {LIBRARY / "run" / "registry.py"}
 # and non-blocking.
 SLEEP_ALLOWED_DIRS = (LIBRARY / "serve",)
 THREAD_ALLOWED_DIRS = (LIBRARY / "serve", LIBRARY / "pipeline")
+
+# The registry owns kernel dispatch; nothing else may branch on the switch.
+USE_FUSED_BRANCH_ALLOWED = {LIBRARY / "tensor" / "registry.py"}
 
 
 def _under(path: Path, dirs: tuple[Path, ...]) -> bool:
@@ -115,6 +123,18 @@ def _all_assignment_nodes(tree: ast.AST) -> set[int]:
                for t in targets):
             exempt.update(id(sub) for sub in ast.walk(node))
     return exempt
+
+
+def _contains_use_fused_call(node: ast.AST) -> bool:
+    """Whether any ``use_fused(...)`` call appears under ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name == "use_fused":
+                return True
+    return False
 
 
 def _is_np_random_call(node: ast.Call) -> bool:
@@ -188,6 +208,15 @@ def check_file(path: Path) -> list[str]:
                 "repro.serve / repro.pipeline — threads belong to the "
                 "audited worker pools; ad-hoc threads bypass the "
                 "determinism contract")
+        if (LIBRARY in path.parents
+                and path not in USE_FUSED_BRANCH_ALLOWED
+                and isinstance(node, (ast.If, ast.IfExp, ast.While))
+                and _contains_use_fused_call(node.test)):
+            problems.append(
+                f"{rel}:{node.lineno}: branching on use_fused() outside "
+                "repro.tensor.registry — dispatch through "
+                "repro.tensor.call(name, ...) so the registry owns "
+                "kernel selection")
     return problems
 
 

@@ -39,13 +39,11 @@ import numpy as np
 
 from ..tensor import (
     Tensor,
+    call,
     dot_rows,
-    fused_gradient_features,
-    fused_l2_normalize,
     l2_normalize,
     pairwise_sqdist,
     softmax,
-    use_fused,
 )
 
 __all__ = [
@@ -75,28 +73,21 @@ def infonce_gradient_features(u: Tensor, v: Tensor, tau: float = 0.5,
         raise ValueError(f"view shapes differ: {u.shape} vs {v.shape}")
     if tau <= 0:
         raise ValueError(f"temperature must be positive, got {tau}")
-    # The euclid form chains the softmax through pairwise distances and has
-    # no fused kernel; it always takes the reference composition.
-    fused = use_fused() and sim in ("cos", "dot")
+    if sim == "euclid":
+        # The euclid form chains the softmax through pairwise distances and
+        # has no registered kernel; it is its own (reference-only) path.
+        grad_u = _anchor_gradient(u, v, tau, sim)
+        grad_v = _anchor_gradient(v, u, tau, sim)
+        return grad_u, grad_v
     if sim == "cos":
-        normalize = fused_l2_normalize if fused else l2_normalize
-        u_in, v_in = normalize(u), normalize(v)
-        scale = 1.0 / tau
+        u_in, v_in = call("l2_normalize", u), call("l2_normalize", v)
     elif sim == "dot":
         u_in, v_in = u, v
-        scale = 1.0 / tau
-    elif sim == "euclid":
-        u_in, v_in = u, v
-        scale = 1.0
     else:
         raise ValueError(f"unknown similarity {sim!r}")
-
-    if fused:
-        grad_u = fused_gradient_features(u_in, v_in, tau) * scale
-        grad_v = fused_gradient_features(v_in, u_in, tau) * scale
-    else:
-        grad_u = _anchor_gradient(u_in, v_in, tau, sim) * scale
-        grad_v = _anchor_gradient(v_in, u_in, tau, sim) * scale
+    scale = 1.0 / tau
+    grad_u = call("gradient_features", u_in, v_in, tau) * scale
+    grad_v = call("gradient_features", v_in, u_in, tau) * scale
     return grad_u, grad_v
 
 

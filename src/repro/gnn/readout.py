@@ -4,24 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import (
-    Tensor,
-    fused_segment_mean,
-    segment_max,
-    segment_mean,
-    segment_sum,
-    use_fused,
-)
+from ..tensor import Tensor, call, segment_max, segment_sum
 
 __all__ = ["readout"]
 
 
 def _mean_readout(values: Tensor, segment_ids: np.ndarray,
                   num_segments: int) -> Tensor:
-    """Mean readout; fused single-node kernel unless globally disabled."""
-    if use_fused():
-        return fused_segment_mean(values, segment_ids, num_segments)
-    return segment_mean(values, segment_ids, num_segments)
+    """Mean readout via the op registry (fused single node by default)."""
+    return call("segment_mean", values, segment_ids, num_segments)
 
 
 _READOUTS = {

@@ -15,11 +15,10 @@ from __future__ import annotations
 
 from ..tensor import (
     Tensor,
-    fused_info_nce,
+    call,
     l2_normalize,
     log_softmax,
     pairwise_sqdist,
-    use_fused,
 )
 
 __all__ = ["similarity_matrix", "info_nce", "nt_xent"]
@@ -53,10 +52,9 @@ def info_nce(u: Tensor, v: Tensor, tau: float = 0.5,
         Average the loss over both anchoring directions (u -> v and v -> u),
         the convention of GraphCL/GRACE.
     fused:
-        Dispatch to the single-node fused kernel
-        (:func:`repro.tensor.fused_info_nce`) or the unfused reference
-        composition below; ``None`` (default) follows the global
-        :func:`repro.tensor.use_fused` switch.
+        Force the single-node fused kernel (``True``) or the unfused
+        reference composition (``False``); ``None`` (default) follows the
+        registry dispatch policy (:func:`repro.tensor.use_fused` et al.).
     """
     if u.shape != v.shape:
         raise ValueError(f"view shapes differ: {u.shape} vs {v.shape}")
@@ -66,21 +64,9 @@ def info_nce(u: Tensor, v: Tensor, tau: float = 0.5,
         raise ValueError(f"temperature must be positive, got {tau}")
     if sim not in _SIM_MODES:
         raise ValueError(f"unknown similarity {sim!r}; choose from {_SIM_MODES}")
-    if fused is None:
-        fused = use_fused()
-    if fused:
-        return fused_info_nce(u, v, tau=tau, sim=sim, symmetric=symmetric)
-
-    def one_direction(a: Tensor, b: Tensor) -> Tensor:
-        logits = similarity_matrix(a, b, sim) / tau
-        log_probs = log_softmax(logits, axis=1)
-        n = len(a)
-        return -log_probs[range(n), range(n)].mean()
-
-    loss = one_direction(u, v)
-    if symmetric:
-        loss = (loss + one_direction(v, u)) * 0.5
-    return loss
+    impl = None if fused is None else ("fused" if fused else "reference")
+    return call("info_nce", u, v, tau=tau, sim=sim, symmetric=symmetric,
+                impl=impl)
 
 
 def nt_xent(u: Tensor, v: Tensor, tau: float = 0.5) -> Tensor:

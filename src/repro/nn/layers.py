@@ -11,7 +11,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..tensor import Tensor, dropout_mask, fused_linear, use_fused
+from ..tensor import Tensor, call, dropout_mask
 from . import init as init_schemes
 from .module import Module, ModuleList, Parameter
 
@@ -22,9 +22,9 @@ __all__ = ["Linear", "BatchNorm1d", "Dropout", "Identity", "Sequential",
 class Linear(Module):
     """Affine map ``y = x W + b`` with Glorot-uniform initialization.
 
-    2-D inputs dispatch to the single-node fused kernel
-    (:func:`repro.tensor.fused_linear`) unless the global fused switch is
-    off; other ranks use the primitive composition.
+    2-D inputs dispatch through the op registry (``"linear"``), which picks
+    the single-node fused kernel or the primitive reference composition per
+    the active policy; other ranks always use the primitive composition.
     """
 
     def __init__(self, in_features: int, out_features: int,
@@ -37,8 +37,8 @@ class Linear(Module):
         self.bias = Parameter(init_schemes.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        if use_fused() and x.ndim == 2:
-            return fused_linear(x, self.weight, self.bias)
+        if x.ndim == 2:
+            return call("linear", x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -70,10 +70,13 @@ class BatchNorm1d(Module):
         if self.training:
             mean = x.mean(axis=0, keepdims=True)
             var = x.var(axis=0, keepdims=True)
-            self.running_mean = ((1 - self.momentum) * self.running_mean
-                                 + self.momentum * mean.data.ravel())
-            self.running_var = ((1 - self.momentum) * self.running_var
-                                + self.momentum * var.data.ravel())
+            # In place (not reassignment): captured eval-mode plans hold
+            # views of these buffers, and serving/probe replays must see
+            # the stats move without re-capturing.
+            self.running_mean *= 1 - self.momentum
+            self.running_mean += self.momentum * mean.data.ravel()
+            self.running_var *= 1 - self.momentum
+            self.running_var += self.momentum * var.data.ravel()
         else:
             mean = Tensor(self.running_mean.reshape(1, -1))
             var = Tensor(self.running_var.reshape(1, -1))

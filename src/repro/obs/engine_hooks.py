@@ -14,7 +14,9 @@ Counters tracked while enabled:
 * ``bytes_allocated`` — cumulative output-array bytes of those nodes;
 * ``peak_ndarray_bytes`` — largest single output allocation;
 * ``backward_sweeps`` / ``backward_nodes`` — reverse passes and the total
-  node count they visited.
+  node count they visited;
+* ``dispatch`` — per-op registry dispatch counts keyed ``"<op>.<impl>"``
+  (e.g. ``"linear.fused"``), recorded by :func:`repro.tensor.registry.call`.
 
 Use :func:`engine_stats` to enable collection for a scoped region::
 
@@ -34,7 +36,7 @@ class EngineStats:
     """Cheap op/byte/backward counters for the autodiff engine."""
 
     __slots__ = ("enabled", "ops", "bytes_allocated", "peak_ndarray_bytes",
-                 "backward_sweeps", "backward_nodes")
+                 "backward_sweeps", "backward_nodes", "dispatch")
 
     def __init__(self):
         self.enabled = False
@@ -46,6 +48,7 @@ class EngineStats:
         self.peak_ndarray_bytes = 0
         self.backward_sweeps = 0
         self.backward_nodes = 0
+        self.dispatch = {}
 
     # Called from Tensor._make; keep it branch-light.
     def record_op(self, nbytes: int) -> None:
@@ -53,6 +56,12 @@ class EngineStats:
         self.bytes_allocated += nbytes
         if nbytes > self.peak_ndarray_bytes:
             self.peak_ndarray_bytes = nbytes
+
+    # Called from registry.call with the registry op name and the
+    # implementation ("fused" / "reference") dispatch resolved to.
+    def record_dispatch(self, name: str, which: str) -> None:
+        key = f"{name}.{which}"
+        self.dispatch[key] = self.dispatch.get(key, 0) + 1
 
     # Called once per Tensor.backward with the topo-sorted node count.
     def record_backward(self, num_nodes: int) -> None:
@@ -64,7 +73,8 @@ class EngineStats:
                 "bytes_allocated": self.bytes_allocated,
                 "peak_ndarray_bytes": self.peak_ndarray_bytes,
                 "backward_sweeps": self.backward_sweeps,
-                "backward_nodes": self.backward_nodes}
+                "backward_nodes": self.backward_nodes,
+                "dispatch": dict(self.dispatch)}
 
 
 ENGINE = EngineStats()

@@ -17,7 +17,9 @@ serving benchmark).  A request flows:
 Every stage records into one :class:`repro.obs.MetricRegistry`
 (``serve.requests`` / ``serve.graphs`` / ``serve.latency_seconds`` /
 ``serve.batches`` / ``serve.coalesced_requests`` / ``serve.shed`` /
-``serve.cache.*``), and :meth:`EmbeddingService.log_metrics` journals the
+``serve.cache.*``), the snapshot additionally carries the encoder's
+``plan.*`` capture/replay counters, and
+:meth:`EmbeddingService.log_metrics` journals the
 snapshot as a standard ``metrics`` event so ``repro report`` can render a
 serving session like any training run.
 """
@@ -138,6 +140,7 @@ class EmbeddingService:
             requests / batches if batches else 0.0)
         snapshot["serve.uptime_seconds"] = round(
             time.time() - self._started, 3)
+        snapshot.update(self.encoder.plan_metrics())
         return snapshot
 
     def log_metrics(self, journal) -> dict:

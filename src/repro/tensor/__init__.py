@@ -23,13 +23,22 @@ from .ops import (
 from .fused import (
     fused_gradient_features,
     fused_info_nce,
-    fused_kernels,
     fused_l2_normalize,
     fused_linear,
     fused_segment_mean,
+)
+from .registry import (
+    OpEntry,
+    call,
+    fused_kernels,
+    get_op,
+    op_impl,
+    op_names,
+    register_op,
     set_fused,
     use_fused,
 )
+from .plan import Plan, PlanCache, PlanCaptureError, capture, plan_cache_for
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
@@ -39,6 +48,8 @@ __all__ = [
     "cosine_similarity_matrix", "pairwise_sqdist", "dot_rows", "where",
     "dropout_mask",
     "fused_info_nce", "fused_gradient_features", "fused_linear",
-    "fused_l2_normalize", "fused_segment_mean", "fused_kernels",
-    "set_fused", "use_fused",
+    "fused_l2_normalize", "fused_segment_mean",
+    "OpEntry", "register_op", "get_op", "op_names", "call", "op_impl",
+    "fused_kernels", "set_fused", "use_fused",
+    "Plan", "PlanCache", "PlanCaptureError", "capture", "plan_cache_for",
 ]

@@ -20,9 +20,6 @@ so speedups cannot silently change numerics.
 
 from __future__ import annotations
 
-import contextlib
-import os
-
 import numpy as np
 
 from .tensor import Tensor, as_tensor
@@ -33,33 +30,37 @@ __all__ = [
     "fused_gradient_features", "fused_segment_mean",
 ]
 
-# Global kernel-selection switch.  Fused kernels are the default; set
-# REPRO_FUSED=0 (or call set_fused(False)) to run the unfused reference
-# compositions everywhere.
-_FUSED_ENABLED = os.environ.get("REPRO_FUSED", "1") != "0"
 
+# Dispatch policy lives in repro.tensor.registry now; these shims survive so
+# historical imports (`from repro.tensor.fused import set_fused`) keep
+# working.  The imports are lazy because registry imports this module for the
+# fused implementations it registers.
 
 def use_fused() -> bool:
-    """Whether call sites should dispatch to the fused kernels."""
-    return _FUSED_ENABLED
+    """Whether dispatch currently resolves to the fused kernels.
+
+    Deprecated alias for :func:`repro.tensor.registry.use_fused`.
+    """
+    from . import registry
+    return registry.use_fused()
 
 
 def set_fused(enabled: bool) -> bool:
-    """Toggle fused-kernel dispatch globally; returns the previous value."""
-    global _FUSED_ENABLED
-    previous = _FUSED_ENABLED
-    _FUSED_ENABLED = bool(enabled)
-    return previous
+    """Toggle fused-kernel dispatch process-wide; returns the previous value.
+
+    Deprecated alias for :func:`repro.tensor.registry.set_fused`.
+    """
+    from . import registry
+    return registry.set_fused(enabled)
 
 
-@contextlib.contextmanager
 def fused_kernels(enabled: bool):
-    """Context manager scoping :func:`set_fused` (used by tests/benches)."""
-    previous = set_fused(enabled)
-    try:
-        yield
-    finally:
-        set_fused(previous)
+    """Context manager scoping the fused switch (used by tests/benches).
+
+    Deprecated alias for :func:`repro.tensor.registry.fused_kernels`.
+    """
+    from . import registry
+    return registry.fused_kernels(enabled)
 
 
 def _normalize_fwd(x: np.ndarray, eps: float) -> tuple[np.ndarray, np.ndarray]:
@@ -83,10 +84,15 @@ def fused_l2_normalize(x: Tensor, eps: float = 1e-12) -> Tensor:
     x = as_tensor(x)
     unit, norms = _normalize_fwd(x.data, eps)
 
+    def forward(a, out=None):
+        n = np.sqrt((a * a).sum(axis=-1, keepdims=True) + eps)
+        return np.divide(a, n, out=out)
+
     def backward(grad):
         return (_normalize_bwd(grad, unit, norms),)
 
-    return Tensor._make(unit, (x,), backward)
+    return Tensor._make(unit, (x,), backward,
+                        op="l2_normalize", forward=forward)
 
 
 def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None,
@@ -110,6 +116,14 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         out_data = out_data * mask
     parents = (x, weight) if bias is None else (x, weight, bias)
 
+    def forward(a, w, *rest, out=None):
+        res = np.matmul(a, w, out=out)
+        if rest:
+            res += rest[0]
+        if activation == "relu":
+            np.multiply(res, res > 0, out=res)
+        return res
+
     def backward(grad):
         if mask is not None:
             grad = grad * mask
@@ -119,7 +133,8 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None,
             return (grad_x, grad_w)
         return (grad_x, grad_w, grad.sum(axis=0))
 
-    return Tensor._make(out_data, parents, backward)
+    return Tensor._make(out_data, parents, backward,
+                        op="linear", forward=forward)
 
 
 def _similarity_fwd(u: np.ndarray, v: np.ndarray, tau: float,
@@ -204,8 +219,10 @@ def fused_info_nce(u: Tensor, v: Tensor, tau: float = 0.5, sim: str = "cos",
         grad_logits = grad_logits * scale
         return _similarity_bwd(grad_logits, u.data, v.data, tau, sim, cache)
 
+    # No replay closure: the loss never sits on a grad-free serving path, so
+    # capturing it would only grow plans that are discarded anyway.
     return Tensor._make(np.asarray(loss, dtype=u.data.dtype),
-                        (u, v), backward)
+                        (u, v), backward, op="info_nce")
 
 
 def fused_gradient_features(anchor: Tensor, candidates: Tensor,
@@ -229,6 +246,15 @@ def fused_gradient_features(anchor: Tensor, candidates: Tensor,
     p /= p.sum(axis=1, keepdims=True)
     out_data = p @ c - c
 
+    def forward(a2, c2, out=None):
+        lg = (a2 @ c2.T) / tau
+        lg -= lg.max(axis=1, keepdims=True)
+        probs = np.exp(lg)
+        probs /= probs.sum(axis=1, keepdims=True)
+        res = np.matmul(probs, c2, out=out)
+        np.subtract(res, c2, out=res)
+        return res
+
     def backward(grad):
         grad_p = grad @ c.T
         # Row-wise softmax Jacobian: dS = P * (dP - <dP, P>).
@@ -238,7 +264,8 @@ def fused_gradient_features(anchor: Tensor, candidates: Tensor,
         grad_cand = p.T @ grad - grad + (grad_logits.T @ a) / tau
         return (grad_anchor, grad_cand)
 
-    return Tensor._make(out_data, (anchor, candidates), backward)
+    return Tensor._make(out_data, (anchor, candidates), backward,
+                        op="gradient_features", forward=forward)
 
 
 def fused_segment_mean(values: Tensor, segment_ids: np.ndarray,
@@ -267,9 +294,23 @@ def fused_segment_mean(values: Tensor, segment_ids: np.ndarray,
             np.add.at(out_data, segment_ids, values.data)
     out_data *= inv.reshape((num_segments,) + (1,) * (values.ndim - 1))
 
+    def forward(v, ids, out=None):
+        from .ops import _segment_sum_kernel
+
+        res = _segment_sum_kernel(v, ids, num_segments)
+        cnt = np.bincount(ids, minlength=num_segments)
+        scale = (1.0 / np.maximum(cnt, 1)).astype(v.dtype)
+        res *= scale.reshape((num_segments,) + (1,) * (v.ndim - 1))
+        if out is not None:
+            out[...] = res
+            return out
+        return res
+
     def backward(grad):
         scaled = grad * inv.reshape((num_segments,)
                                     + (1,) * (grad.ndim - 1))
         return (scaled[segment_ids],)
 
-    return Tensor._make(out_data, (values,), backward)
+    return Tensor._make(out_data, (values,), backward,
+                        op="segment_mean", forward=forward,
+                        extras=(segment_ids,))

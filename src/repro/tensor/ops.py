@@ -48,6 +48,9 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
+    def forward(*arrays, out=None):
+        return np.concatenate(arrays, axis=axis, out=out)
+
     def backward(grad):
         slicer = [slice(None)] * grad.ndim
         pieces = []
@@ -56,7 +59,8 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             pieces.append(grad[tuple(slicer)])
         return tuple(pieces)
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._make(out_data, tensors, backward,
+                        op="concat", forward=forward)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -64,10 +68,14 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
 
+    def forward(*arrays, out=None):
+        return np.stack(arrays, axis=axis)
+
     def backward(grad):
         return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
 
-    return Tensor._make(out_data, tensors, backward)
+    return Tensor._make(out_data, tensors, backward,
+                        op="stack", forward=forward)
 
 
 def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
@@ -87,7 +95,44 @@ def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     def backward(grad):
         return (csr.T @ grad,)
 
-    return Tensor._make(out_data, (dense,), backward)
+    return Tensor._make(out_data, (dense,), backward,
+                        op="spmm", forward=_spmm_forward, extras=(matrix,))
+
+
+def _spmm_forward(x: np.ndarray, matrix, out=None) -> np.ndarray:
+    """Replay kernel for :func:`spmm`: same tocsr/astype/matmul as eager."""
+    csr = matrix.tocsr()
+    if csr.dtype != x.dtype:
+        csr = csr.astype(x.dtype)
+    return csr @ x
+
+
+def _segment_sum_kernel(values: np.ndarray, segment_ids: np.ndarray,
+                        num_segments: int) -> np.ndarray:
+    """Sum-readout forward shared by the eager op and plan replay."""
+    out_data = np.zeros((num_segments,) + values.shape[1:],
+                        dtype=values.dtype)
+    if segment_ids.size:
+        if np.all(segment_ids[1:] >= segment_ids[:-1]):
+            # Sorted ids (the block-diagonal batch layout): contiguous
+            # reduction, ~10x faster than the np.add.at scatter.  reduceat
+            # misbehaves on empty segments (repeated offsets), so reduce
+            # only the nonempty ones and scatter into the zero output.
+            starts, nonempty = _sorted_segment_bounds(segment_ids,
+                                                      num_segments)
+            reduced = np.add.reduceat(values, starts[nonempty], axis=0)
+            out_data[nonempty] = reduced
+        else:
+            np.add.at(out_data, segment_ids, values)
+    return out_data
+
+
+def _segment_mean_counts(segment_ids: np.ndarray, num_segments: int,
+                         dtype, ndim: int) -> np.ndarray:
+    """Per-segment divisor (clipped at 1) broadcast against the values."""
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(dtype)
+    return np.maximum(counts, 1.0).reshape(
+        (num_segments,) + (1,) * (ndim - 1))
 
 
 def _sorted_segment_bounds(segment_ids: np.ndarray,
@@ -108,37 +153,47 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray,
     """
     values = as_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out_shape = (num_segments,) + values.shape[1:]
-    out_data = np.zeros(out_shape, dtype=values.data.dtype)
-    if segment_ids.size:
-        if np.all(segment_ids[1:] >= segment_ids[:-1]):
-            # Sorted ids (the block-diagonal batch layout): contiguous
-            # reduction, ~10x faster than the np.add.at scatter.  reduceat
-            # misbehaves on empty segments (repeated offsets), so reduce
-            # only the nonempty ones and scatter into the zero output.
-            starts, nonempty = _sorted_segment_bounds(segment_ids,
-                                                      num_segments)
-            reduced = np.add.reduceat(values.data, starts[nonempty], axis=0)
-            out_data[nonempty] = reduced
-        else:
-            np.add.at(out_data, segment_ids, values.data)
+    out_data = _segment_sum_kernel(values.data, segment_ids, num_segments)
+
+    def forward(v, ids, out=None):
+        return _segment_sum_kernel(v, ids, num_segments)
 
     def backward(grad):
         return (grad[segment_ids],)
 
-    return Tensor._make(out_data, (values,), backward)
+    return Tensor._make(out_data, (values,), backward,
+                        op="segment_sum", forward=forward,
+                        extras=(segment_ids,))
 
 
 def segment_mean(values: Tensor, segment_ids: np.ndarray,
                  num_segments: int) -> Tensor:
-    """Mean-readout over segments; empty segments yield zeros."""
+    """Mean-readout over segments; empty segments yield zeros.
+
+    A single graph node computing exactly what the historical
+    ``segment_sum(...) / counts`` composition computed (same kernel, same
+    division, same gradient values) — collapsed so the op is expressible as
+    one replayable plan step whose only per-request operand is
+    ``segment_ids``.
+    """
     values = as_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids,
-                         minlength=num_segments).astype(values.data.dtype)
-    counts = np.maximum(counts, 1.0).reshape(
-        (num_segments,) + (1,) * (values.ndim - 1))
-    return segment_sum(values, segment_ids, num_segments) / _const(counts)
+    counts = _segment_mean_counts(segment_ids, num_segments,
+                                  values.data.dtype, values.ndim)
+    out_data = _segment_sum_kernel(values.data, segment_ids,
+                                   num_segments) / counts
+
+    def forward(v, ids, out=None):
+        divisor = _segment_mean_counts(ids, num_segments, v.dtype, v.ndim)
+        summed = _segment_sum_kernel(v, ids, num_segments)
+        return np.divide(summed, divisor, out=out)
+
+    def backward(grad):
+        return ((grad / counts)[segment_ids],)
+
+    return Tensor._make(out_data, (values,), backward,
+                        op="segment_mean", forward=forward,
+                        extras=(segment_ids,))
 
 
 def segment_max(values: Tensor, segment_ids: np.ndarray,
@@ -158,10 +213,18 @@ def segment_max(values: Tensor, segment_ids: np.ndarray,
     np.add.at(tie_counts, segment_ids, attains.astype(dtype))
     tie_counts = np.maximum(tie_counts, 1.0)
 
+    def forward(v, ids, out=None):
+        pooled = np.full((num_segments,) + v.shape[1:], -np.inf, dtype=v.dtype)
+        np.maximum.at(pooled, ids, v)
+        pooled[np.isneginf(pooled)] = 0.0
+        return pooled
+
     def backward(grad):
         return (grad[segment_ids] * attains / tie_counts[segment_ids],)
 
-    return Tensor._make(out_data, (values,), backward)
+    return Tensor._make(out_data, (values,), backward,
+                        op="segment_max", forward=forward,
+                        extras=(segment_ids,))
 
 
 def gather_rows(values: Tensor, indices: np.ndarray) -> Tensor:
@@ -177,7 +240,7 @@ def gather_rows(values: Tensor, indices: np.ndarray) -> Tensor:
         np.add.at(full, indices, grad)
         return (full,)
 
-    return Tensor._make(out_data, (values,), backward)
+    return Tensor._make(out_data, (values,), backward, op="gather_rows")
 
 
 def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
@@ -244,7 +307,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         return (np.where(condition, grad, zero) * np.ones_like(a.data),
                 np.where(condition, zero, grad) * np.ones_like(b.data))
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, op="where")
 
 
 def dropout_mask(shape: tuple[int, ...], rate: float,

@@ -1,0 +1,406 @@
+"""Captured-plan executor: replay grad-free forwards without graph rebuild.
+
+Steady-state serving and probe evaluation run the *same* forward over and
+over with fresh data of recurring shapes; eager execution rebuilds the whole
+``Tensor`` graph (node objects, backward closures, dispatch) every time even
+though nothing about the computation changes.  This module captures one
+eager forward into a flat replay program and re-executes it as a straight
+loop of numpy kernels writing into a reusable output arena.
+
+Capture
+-------
+:func:`capture` installs a tape in ``repro.tensor.tensor._TAPE`` and runs
+the forward once.  Every ``Tensor._make`` call on the capturing thread
+records ``(op, forward, parents, extras, out_array)``; ops constructed
+without a replay closure (``forward=None``) poison the tape.  After the
+forward, each recorded operand is resolved to exactly one of:
+
+* **slot** — produced by an earlier step of this plan;
+* **input** — identified (by array identity) as part of the request batch:
+  node features, the node-to-graph assignment, or a cached adjacency;
+* **param** — identified (by array identity, or the identity of the view's
+  base) as a parameter or registered buffer of the module, held by
+  reference so optimizer/BatchNorm in-place updates stay visible;
+* **const** — a size-1 array, copied into the plan (op attributes such as
+  scalar scales).
+
+Anything else — in particular data-dependent interior constants like the
+softmax family's row-max — fails the capture.  Failing is the point: a
+value that is neither request input, module state, slot, nor scalar cannot
+be proven request-independent, and baking it in would replay stale data.
+Failed shapes are tombstoned and served eagerly forever.
+
+Replay
+------
+:meth:`Plan.replay` walks the steps, resolving operands and invoking each
+step's closure with ``out=`` pointing into a per-plan arena of preallocated
+arrays (closures that cannot write in place simply ignore it; the arena
+slot is dropped after the first replay).  The final output is copied out of
+the arena so callers may hold it across replays.  The first replay of every
+plan is verified bit-for-bit against an eager recompute of the same batch —
+a mismatch discards the plan, tombstones its shape bucket, and returns the
+eager result, so replay can never silently diverge.
+
+:class:`PlanCache` buckets plans by batch shape/dtype/dispatch-mode, with
+LRU eviction (capacity from ``REPRO_PLAN_CACHE``, default 32; ``0``
+disables capture entirely) and ``plan.*`` counters for the serve journal.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from . import tensor as _tensor_mod
+from .dtype import get_default_dtype
+from .tensor import Tensor
+
+__all__ = ["Plan", "PlanCache", "PlanCaptureError", "capture",
+           "plan_cache_for", "DEFAULT_PLAN_CACHE_CAPACITY"]
+
+DEFAULT_PLAN_CACHE_CAPACITY = 32
+
+# Operand binding kinds (see module docstring).
+_SLOT, _INPUT, _PARAM, _CONST = 0, 1, 2, 3
+
+# One capture at a time process-wide: the tape slot in repro.tensor.tensor
+# is a single module global (reads are filtered by thread id, so concurrent
+# eager work on other threads is unaffected — it just cannot capture).
+_CAPTURE_LOCK = threading.Lock()
+
+
+class PlanCaptureError(RuntimeError):
+    """A forward could not be captured; carries the reason."""
+
+
+class _Tape:
+    """Raw step recorder installed into ``tensor._TAPE`` during capture."""
+
+    __slots__ = ("tid", "raw", "failure")
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.raw: list = []
+        self.failure: str | None = None
+
+    # Called from Tensor._make on the capturing thread.
+    def record(self, op, forward, parents, extras, data) -> None:
+        if self.failure is not None:
+            return
+        if forward is None:
+            self.failure = f"op {op or '<anonymous>'} has no replay kernel"
+            return
+        self.raw.append((op, forward, parents, extras, data))
+
+
+class _Step:
+    """One replayable kernel invocation."""
+
+    __slots__ = ("op", "forward", "bindings", "extra_bindings",
+                 "shape", "dtype")
+
+    def __init__(self, op, forward, bindings, extra_bindings, shape, dtype):
+        self.op = op
+        self.forward = forward
+        self.bindings = bindings
+        self.extra_bindings = extra_bindings
+        self.shape = shape
+        self.dtype = dtype
+
+
+def _batch_input_ids(batch) -> dict[int, tuple]:
+    """Array identity -> request-input descriptor for a GraphBatch.
+
+    Built *after* the captured forward so adjacencies materialized during it
+    (``batch.adjacency(norm)`` memoizes into ``_adj_cache``) are included.
+    """
+    ids = {id(batch.x): ("x",),
+           id(batch.node_to_graph): ("node_to_graph",)}
+    for norm, matrix in batch._adj_cache.items():
+        ids[id(matrix)] = ("adj", norm)
+    return ids
+
+
+def _fetch_input(batch, desc: tuple):
+    """Materialize a request-input descriptor against a new batch."""
+    kind = desc[0]
+    if kind == "x":
+        return batch.x
+    if kind == "node_to_graph":
+        return batch.node_to_graph
+    if kind == "adj":
+        return batch.adjacency(desc[1])
+    raise KeyError(f"unknown input descriptor {desc!r}")
+
+
+def _owned_arrays(module) -> set[int]:
+    """Identities of every array the module owns (params + buffers)."""
+    owned = {id(p.data) for _, p in module.named_parameters()}
+    owned.update(id(b) for _, b in module.named_buffers())
+    return owned
+
+
+class Plan:
+    """A finalized replay program for one (module, batch-shape) pair."""
+
+    __slots__ = ("steps", "output_slot", "input_descs", "arena", "verified")
+
+    def __init__(self, steps: list[_Step], output_slot: int):
+        self.steps = steps
+        self.output_slot = output_slot
+        self.input_descs = sorted(
+            {b[1] for s in steps
+             for b in (*s.bindings, *s.extra_bindings) if b[0] == _INPUT})
+        self.arena: list | None = None
+        self.verified = False
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def replay(self, batch) -> np.ndarray:
+        """Execute the plan against ``batch``; returns a caller-owned copy."""
+        first = self.arena is None
+        if first:
+            self.arena = [np.empty(s.shape, s.dtype) for s in self.steps]
+        slots: list = [None] * len(self.steps)
+        fetched: dict = {}
+        for desc in self.input_descs:
+            fetched[desc] = _fetch_input(batch, desc)
+        for i, step in enumerate(self.steps):
+            args = []
+            for kind, payload in step.bindings:
+                if kind == _SLOT:
+                    args.append(slots[payload])
+                elif kind == _INPUT:
+                    args.append(fetched[payload])
+                elif kind == _PARAM:
+                    args.append(payload.data)
+                else:
+                    args.append(payload)
+            for kind, payload in step.extra_bindings:
+                args.append(fetched[payload] if kind == _INPUT else payload)
+            out = self.arena[i]
+            result = step.forward(*args, out=out)
+            if first and result is not out:
+                # The closure cannot write in place (view/reduction/sparse);
+                # drop the preallocated buffer instead of carrying it.
+                self.arena[i] = None
+            slots[i] = result
+        return np.copy(slots[self.output_slot])
+
+
+@contextlib.contextmanager
+def _taping(tape: _Tape):
+    with _CAPTURE_LOCK:
+        previous = _tensor_mod._TAPE
+        _tensor_mod._TAPE = tape
+        try:
+            yield
+        finally:
+            _tensor_mod._TAPE = previous
+
+
+def capture(module, forward_fn, batch) -> tuple[Tensor, Plan]:
+    """Run ``forward_fn(batch)`` once eagerly while recording a plan.
+
+    Returns the eager output tensor and the finalized plan; raises
+    :class:`PlanCaptureError` (after the eager forward completed — callers
+    can still use its ``.args[1]``, the output tensor) when the forward is
+    not replayable.
+    """
+    tape = _Tape(threading.get_ident())
+    with _taping(tape):
+        out = forward_fn(batch)
+    try:
+        plan = _finalize(tape, module, batch, out)
+    except PlanCaptureError as exc:
+        raise PlanCaptureError(str(exc), out) from None
+    return out, plan
+
+
+def _finalize(tape: _Tape, module, batch, out_tensor: Tensor) -> Plan:
+    if tape.failure is not None:
+        raise PlanCaptureError(tape.failure)
+    if not tape.raw:
+        raise PlanCaptureError("forward recorded no ops")
+    input_ids = _batch_input_ids(batch)
+    owned = _owned_arrays(module)
+
+    def _is_owned(arr) -> bool:
+        if id(arr) in owned:
+            return True
+        base = getattr(arr, "base", None)
+        return base is not None and id(base) in owned
+
+    produced: dict[int, int] = {}
+    steps: list[_Step] = []
+    for op, forward, parents, extras, data in tape.raw:
+        bindings = []
+        for parent in parents:
+            arr = parent.data
+            slot = produced.get(id(arr))
+            if slot is not None:
+                bindings.append((_SLOT, slot))
+            elif id(arr) in input_ids:
+                bindings.append((_INPUT, input_ids[id(arr)]))
+            elif _is_owned(arr):
+                # Keep the Tensor (not the array): its .data view tracks
+                # in-place optimizer steps and running-stat updates.
+                bindings.append((_PARAM, parent))
+            elif arr.size == 1:
+                bindings.append((_CONST, np.copy(arr)))
+            else:
+                raise PlanCaptureError(
+                    f"op {op}: operand of shape {arr.shape} is neither a "
+                    "plan slot, request input, module state, nor scalar")
+        extra_bindings = []
+        for extra in extras:
+            if id(extra) in input_ids:
+                extra_bindings.append((_INPUT, input_ids[id(extra)]))
+            elif isinstance(extra, np.ndarray) and _is_owned(extra):
+                extra_bindings.append((_CONST, extra))
+            else:
+                raise PlanCaptureError(
+                    f"op {op}: extra operand {type(extra).__name__} is not "
+                    "identified with the request batch")
+        produced[id(data)] = len(steps)
+        steps.append(_Step(op, forward, tuple(bindings),
+                           tuple(extra_bindings), data.shape, data.dtype))
+    output_slot = produced.get(id(out_tensor.data))
+    if output_slot is None:
+        raise PlanCaptureError("forward output is not an op result")
+    # Steps after the output can never feed it (slots only look backwards).
+    return Plan(steps[:output_slot + 1], output_slot)
+
+
+def _cache_capacity() -> int:
+    raw = os.environ.get("REPRO_PLAN_CACHE", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_PLAN_CACHE_CAPACITY
+
+
+_TOMBSTONE = object()
+
+
+class PlanCache:
+    """Shape-bucketed LRU of captured plans with eager fallback.
+
+    ``run(module, forward_fn, batch)`` is the single entry point: it
+    captures on first sight of a shape bucket, verifies the first replay
+    bit-for-bit against eager, replays thereafter, and falls back to plain
+    eager execution for tombstoned buckets or a disabled cache.  Always
+    returns the embedding **array** (callers on this path are grad-free).
+    """
+
+    _COUNTERS = ("hits", "misses", "captures", "capture_failures",
+                 "replays", "verify_failures", "fallbacks", "evictions")
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = _cache_capacity() if capacity is None else int(capacity)
+        self._plans: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+        self.counters = {name: 0 for name in self._COUNTERS}
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def metrics(self) -> dict:
+        """``plan.*`` counter snapshot for journals and ``/metrics``."""
+        with self._lock:
+            out = {f"plan.{k}": v for k, v in self.counters.items()}
+            out["plan.size"] = sum(
+                1 for v in self._plans.values() if v is not _TOMBSTONE)
+            out["plan.capacity"] = self.capacity
+            return out
+
+    def _key(self, batch) -> tuple:
+        from .registry import use_fused
+
+        return (batch.num_graphs, batch.num_nodes, batch.x.shape[1],
+                np.dtype(get_default_dtype()).str, use_fused())
+
+    @staticmethod
+    def _prepare(batch) -> None:
+        """Normalize batch arrays so leaf wrapping is identity-preserving.
+
+        ``Tensor(batch.x)`` must not copy (capture identifies request inputs
+        by array identity), so the dtype/contiguity conversion the engine
+        would do implicitly is done here, once, on the batch itself.
+        """
+        dtype = get_default_dtype()
+        if batch.x.dtype != dtype or not batch.x.flags["C_CONTIGUOUS"]:
+            batch.x = np.ascontiguousarray(batch.x, dtype=dtype)
+        ntg = batch.node_to_graph
+        if ntg.dtype != np.int64 or not ntg.flags["C_CONTIGUOUS"]:
+            batch.node_to_graph = np.ascontiguousarray(ntg, dtype=np.int64)
+
+    def _store(self, key, value) -> None:
+        self._plans[key] = value
+        self._plans.move_to_end(key)
+        while len(self._plans) > max(self.capacity, 1):
+            self._plans.popitem(last=False)
+            self.counters["evictions"] += 1
+
+    def run(self, module, forward_fn, batch) -> np.ndarray:
+        """Embed ``batch`` through the plan path (eager on any fallback)."""
+        if not self.enabled:
+            return forward_fn(batch).data
+        with self._lock:
+            self._prepare(batch)
+            key = self._key(batch)
+            entry = self._plans.get(key)
+            if entry is _TOMBSTONE:
+                self._plans.move_to_end(key)
+                self.counters["fallbacks"] += 1
+                return forward_fn(batch).data
+            if entry is None:
+                self.counters["misses"] += 1
+                try:
+                    out, plan = capture(module, forward_fn, batch)
+                except PlanCaptureError as exc:
+                    self._store(key, _TOMBSTONE)
+                    self.counters["capture_failures"] += 1
+                    out = exc.args[1] if len(exc.args) > 1 else None
+                    return (out.data if out is not None
+                            else forward_fn(batch).data)
+                self._store(key, plan)
+                self.counters["captures"] += 1
+                return out.data
+            self._plans.move_to_end(key)
+            self.counters["hits"] += 1
+            if entry.verified:
+                self.counters["replays"] += 1
+                return entry.replay(batch)
+            replayed = entry.replay(batch)
+            eager = forward_fn(batch).data
+            if (replayed.shape == eager.shape
+                    and replayed.dtype == eager.dtype
+                    and replayed.tobytes() == eager.tobytes()):
+                entry.verified = True
+                self.counters["replays"] += 1
+                return replayed
+            self._store(key, _TOMBSTONE)
+            self.counters["verify_failures"] += 1
+            return eager
+
+
+# Per-module plan caches, weak-keyed so cloned/garbage-collected modules do
+# not pin plans (Module.clone() deepcopies — the clone gets its own cache).
+_MODULE_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def plan_cache_for(module, capacity: int | None = None) -> PlanCache:
+    """The (lazily created) plan cache attached to ``module``."""
+    cache = _MODULE_CACHES.get(module)
+    if cache is None:
+        cache = PlanCache(capacity)
+        _MODULE_CACHES[module] = cache
+    return cache

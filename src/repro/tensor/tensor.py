@@ -31,6 +31,8 @@ the encoder without second-order machinery.
 from __future__ import annotations
 
 import contextlib
+import contextvars
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -40,25 +42,33 @@ from .dtype import get_default_dtype
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
-# Global autograd switch, toggled by the ``no_grad`` context manager.
-_GRAD_ENABLED = True
+# Context-local autograd switch, toggled by the ``no_grad`` context manager.
+# A ContextVar (not a module global) so concurrent contexts — serve's HTTP
+# handler threads, the micro-batcher worker — each see their own flag and a
+# ``no_grad`` scope in one thread cannot leak into another.
+_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_grad_enabled", default=True)
+
+# Active capture tape installed by :mod:`repro.tensor.plan` while recording
+# one eager forward into a replayable plan.  ``None`` almost always, so the
+# hot-path cost in ``Tensor._make`` is a single load+is-check; the tape
+# filters on thread id so other threads' eager ops never pollute a capture.
+_TAPE = None
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (like torch.no_grad)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -94,6 +104,75 @@ def _is_basic_index(index) -> bool:
     return isinstance(index, (int, np.integer)) and not isinstance(index, bool)
 
 
+# ----------------------------------------------------------------------
+# Pure-numpy replay kernels (plan-executor ``forward`` closures).
+#
+# Each mirrors the eager computation of the op that registers it
+# bit-for-bit; ``out`` is an optional preallocated buffer (the plan arena)
+# which ufunc/matmul kernels write into and view/scatter kernels ignore.
+# ----------------------------------------------------------------------
+def _fw_add(a, b, out=None):
+    return np.add(a, b, out=out)
+
+
+def _fw_sub(a, b, out=None):
+    return np.subtract(a, b, out=out)
+
+
+def _fw_rsub(a, b, out=None):
+    return np.subtract(b, a, out=out)
+
+
+def _fw_mul(a, b, out=None):
+    return np.multiply(a, b, out=out)
+
+
+def _fw_div(a, b, out=None):
+    return np.divide(a, b, out=out)
+
+
+def _fw_neg(a, out=None):
+    return np.negative(a, out=out)
+
+
+def _fw_matmul(a, b, out=None):
+    if out is not None and a.ndim == 2 and b.ndim == 2:
+        return np.matmul(a, b, out=out)
+    return a @ b
+
+
+def _fw_exp(a, out=None):
+    return np.exp(a, out=out)
+
+
+def _fw_log(a, out=None):
+    return np.log(a, out=out)
+
+
+def _fw_sqrt(a, out=None):
+    return np.sqrt(a, out=out)
+
+
+def _fw_abs(a, out=None):
+    return np.abs(a, out=out)
+
+
+def _fw_tanh(a, out=None):
+    return np.tanh(a, out=out)
+
+
+def _fw_sigmoid(a, out=None):
+    return 1.0 / (1.0 + np.exp(-a))
+
+
+def _fw_relu(a, out=None):
+    return np.multiply(a, a > 0, out=out)
+
+
+def _fw_softplus(a, out=None):
+    return np.logaddexp(0.0, a, out=out)
+
+
 class Tensor:
     """A numpy-backed tensor with reverse-mode automatic differentiation.
 
@@ -117,7 +196,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(
             data, dtype=get_default_dtype() if dtype is None else dtype)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED.get()
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -172,7 +251,11 @@ class Tensor:
         def backward(grad):
             return (grad.astype(original, copy=False),)
 
-        return Tensor._make(out_data, (self,), backward)
+        def forward(a, out=None):
+            return a.astype(dtype, copy=False)
+
+        return Tensor._make(out_data, (self,), backward,
+                            op="astype", forward=forward)
 
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=self.requires_grad,
@@ -186,16 +269,30 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
+              backward: Callable[[np.ndarray], None], *,
+              op: str | None = None,
+              forward: Callable | None = None,
+              extras: tuple = ()) -> "Tensor":
         """Create a result tensor wired into the autograd graph.
 
         Interior nodes keep the dtype the numpy kernel produced rather than
         coercing to the default policy (see module docstring).
+
+        ``op``/``forward``/``extras`` feed the plan executor
+        (:mod:`repro.tensor.plan`): ``forward(*arrays, out=None)`` is a pure
+        numpy re-execution of this node — bit-identical to ``data`` given
+        the parent arrays followed by ``extras`` (non-Tensor operands such
+        as segment ids or a sparse adjacency).  Ops without a ``forward``
+        closure simply cannot be captured; an active capture falls back to
+        eager execution when it meets one.
         """
         data = np.asarray(data)
         if ENGINE.enabled:
             ENGINE.record_op(data.nbytes)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        tape = _TAPE
+        if tape is not None and tape.tid == threading.get_ident():
+            tape.record(op, forward, parents, extras, data)
+        requires = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
             out._parents = tuple(parents)
@@ -326,7 +423,8 @@ class Tensor:
             return (_unbroadcast(grad, self.shape),
                     _unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward,
+                            op="add", forward=_fw_add)
 
     __radd__ = __add__
 
@@ -338,7 +436,8 @@ class Tensor:
             return (_unbroadcast(grad, self.shape),
                     _unbroadcast(-grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward,
+                            op="sub", forward=_fw_sub)
 
     def __rsub__(self, other) -> "Tensor":
         return as_tensor(other, dtype=self.data.dtype).__sub__(self)
@@ -351,7 +450,8 @@ class Tensor:
             return (_unbroadcast(grad * other.data, self.shape),
                     _unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward,
+                            op="mul", forward=_fw_mul)
 
     __rmul__ = __mul__
 
@@ -364,7 +464,8 @@ class Tensor:
                     _unbroadcast(-grad * self.data / other.data ** 2,
                                  other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward,
+                            op="div", forward=_fw_div)
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other, dtype=self.data.dtype).__truediv__(self)
@@ -373,7 +474,8 @@ class Tensor:
         def backward(grad):
             return (-grad,)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward,
+                            op="neg", forward=_fw_neg)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -383,7 +485,11 @@ class Tensor:
         def backward(grad):
             return (grad * exponent * self.data ** (exponent - 1),)
 
-        return Tensor._make(out_data, (self,), backward)
+        def forward(a, out=None):
+            return np.power(a, exponent, out=out)
+
+        return Tensor._make(out_data, (self,), backward,
+                            op="pow", forward=forward)
 
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other, dtype=self.data.dtype)
@@ -402,7 +508,8 @@ class Tensor:
                 return (np.outer(grad, b), a.T @ grad)
             return (grad @ b.swapaxes(-1, -2), a.swapaxes(-1, -2) @ grad)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward,
+                            op="matmul", forward=_fw_matmul)
 
     # ------------------------------------------------------------------
     # Comparisons (non-differentiable; return numpy arrays)
@@ -422,13 +529,15 @@ class Tensor:
         def backward(grad):
             return (grad * out_data,)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="exp", forward=_fw_exp)
 
     def log(self) -> "Tensor":
         def backward(grad):
             return (grad / self.data,)
 
-        return Tensor._make(np.log(self.data), (self,), backward)
+        return Tensor._make(np.log(self.data), (self,), backward,
+                            op="log", forward=_fw_log)
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -436,13 +545,15 @@ class Tensor:
         def backward(grad):
             return (grad / (2.0 * out_data),)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="sqrt", forward=_fw_sqrt)
 
     def abs(self) -> "Tensor":
         def backward(grad):
             return (grad * np.sign(self.data),)
 
-        return Tensor._make(np.abs(self.data), (self,), backward)
+        return Tensor._make(np.abs(self.data), (self,), backward,
+                            op="abs", forward=_fw_abs)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -450,7 +561,8 @@ class Tensor:
         def backward(grad):
             return (grad * (1.0 - out_data ** 2),)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="tanh", forward=_fw_tanh)
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -458,7 +570,8 @@ class Tensor:
         def backward(grad):
             return (grad * out_data * (1.0 - out_data),)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="sigmoid", forward=_fw_sigmoid)
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -466,16 +579,22 @@ class Tensor:
         def backward(grad):
             return (grad * mask,)
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        return Tensor._make(self.data * mask, (self,), backward,
+                            op="relu", forward=_fw_relu)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype)
 
+        def forward(a, out=None):
+            s = np.where(a > 0, 1.0, negative_slope).astype(a.dtype)
+            return np.multiply(a, s, out=out)
+
         def backward(grad):
             return (grad * scale,)
 
-        return Tensor._make(self.data * scale, (self,), backward)
+        return Tensor._make(self.data * scale, (self,), backward,
+                            op="leaky_relu", forward=forward)
 
     def softplus(self) -> "Tensor":
         # Numerically stable log(1 + exp(x)).
@@ -484,7 +603,8 @@ class Tensor:
         def backward(grad):
             return (grad / (1.0 + np.exp(-self.data)),)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="softplus", forward=_fw_softplus)
 
     def clip(self, low: float | None = None, high: float | None = None) -> "Tensor":
         out_data = np.clip(self.data, low, high)
@@ -494,10 +614,14 @@ class Tensor:
         if high is not None:
             mask = mask * (self.data <= high)
 
+        def forward(a, out=None):
+            return np.clip(a, low, high, out=out)
+
         def backward(grad):
             return (grad * mask,)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward,
+                            op="clip", forward=forward)
 
     # ------------------------------------------------------------------
     # Reductions
@@ -512,7 +636,11 @@ class Tensor:
                 g = np.expand_dims(g, axis)
             return (np.broadcast_to(g, self.shape).copy(),)
 
-        return Tensor._make(out_data, (self,), backward)
+        def forward(a, out=None):
+            return np.sum(a, axis=axis, keepdims=keepdims, out=out)
+
+        return Tensor._make(out_data, (self,), backward,
+                            op="sum", forward=forward)
 
     def mean(self, axis: int | tuple[int, ...] | None = None,
              keepdims: bool = False) -> "Tensor":
@@ -534,7 +662,11 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True)
             return (np.broadcast_to(g, self.shape) * mask / counts,)
 
-        return Tensor._make(out_data, (self,), backward)
+        def forward(a, out=None):
+            return a.max(axis=axis, keepdims=keepdims)
+
+        return Tensor._make(out_data, (self,), backward,
+                            op="max", forward=forward)
 
     def min(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -555,7 +687,11 @@ class Tensor:
         def backward(grad):
             return (grad.reshape(original),)
 
-        return Tensor._make(out_data, (self,), backward)
+        def forward(a, out=None):
+            return a.reshape(shape)
+
+        return Tensor._make(out_data, (self,), backward,
+                            op="reshape", forward=forward)
 
     def flatten(self) -> "Tensor":
         return self.reshape(-1)
@@ -568,7 +704,11 @@ class Tensor:
         def backward(grad):
             return (grad.transpose(inverse),)
 
-        return Tensor._make(out_data, (self,), backward)
+        def forward(a, out=None):
+            return a.transpose(axes)
+
+        return Tensor._make(out_data, (self,), backward,
+                            op="transpose", forward=forward)
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -588,7 +728,7 @@ class Tensor:
                 np.add.at(full, index, grad)
             return (full,)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="getitem")
 
 
 def as_tensor(value, dtype=None) -> Tensor:

@@ -1,0 +1,189 @@
+"""Captured-plan executor: capture, bit-identical replay, fallback, LRU.
+
+The contract under test is the serving one: ``PlanCache.run`` must return
+byte-for-byte what the eager forward would have, for every batch, whether
+the call captured, replayed, or fell back.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBatch
+from repro.nn import Linear, Module
+from repro.tensor import (
+    PlanCache,
+    PlanCaptureError,
+    Tensor,
+    call,
+    capture,
+    fused_kernels,
+    plan_cache_for,
+)
+from repro.tensor.plan import DEFAULT_PLAN_CACHE_CAPACITY
+
+NUM_FEATURES = 4
+
+
+class TinyEncoder(Module):
+    """Linear + mean readout: exercises fused-linear, segment_mean, inputs."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.lin = Linear(NUM_FEATURES, 3, rng=rng)
+
+    def graph_embeddings(self, batch):
+        hidden = self.lin(Tensor(batch.x)).relu()
+        return call("segment_mean", hidden, batch.node_to_graph,
+                    batch.num_graphs)
+
+
+def make_batch(sizes, seed=0):
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for n in sizes:
+        edges = (np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+                 if n > 1 else np.empty((0, 2), dtype=np.int64))
+        graphs.append(Graph(n, edges, rng.normal(size=(n, NUM_FEATURES))))
+    return GraphBatch(graphs)
+
+
+@pytest.fixture
+def module():
+    return TinyEncoder(np.random.default_rng(0))
+
+
+class TestCaptureReplay:
+    def test_replay_bit_identical_to_eager(self, module):
+        cache = PlanCache(4)
+        for seed in range(4):
+            batch = make_batch([3, 5, 2], seed=seed)
+            expected = module.graph_embeddings(batch).data
+            got = cache.run(module, module.graph_embeddings, batch)
+            assert got.shape == expected.shape
+            assert got.dtype == expected.dtype
+            assert got.tobytes() == expected.tobytes()
+        # seed 0 captured, seed 1 verified-then-replayed, 2 and 3 replayed.
+        assert cache.counters["captures"] == 1
+        assert cache.counters["misses"] == 1
+        assert cache.counters["hits"] == 3
+        assert cache.counters["replays"] == 3
+        assert cache.counters["verify_failures"] == 0
+
+    def test_param_updates_visible_without_recapture(self, module):
+        """In-place optimizer-style updates must flow into replays."""
+        cache = PlanCache(4)
+        for seed in range(2):   # capture + verify
+            cache.run(module, module.graph_embeddings,
+                      make_batch([3, 5, 2], seed=seed))
+        module.lin.weight.data += 0.25
+        module.lin.bias.data -= 0.5
+        batch = make_batch([3, 5, 2], seed=7)
+        expected = module.graph_embeddings(batch).data
+        got = cache.run(module, module.graph_embeddings, batch)
+        assert got.tobytes() == expected.tobytes()
+        assert cache.counters["captures"] == 1   # no re-capture happened
+
+    def test_fused_and_reference_bucket_separately(self, module):
+        cache = PlanCache(4)
+        batch = make_batch([3, 5, 2])
+        with fused_kernels(True):
+            cache.run(module, module.graph_embeddings, batch)
+        with fused_kernels(False):
+            cache.run(module, module.graph_embeddings, batch)
+        assert cache.counters["misses"] == 2
+        assert cache.counters["captures"] == 2
+
+    def test_capture_output_and_plan(self, module):
+        batch = make_batch([3, 5, 2])
+        out, plan = capture(module, module.graph_embeddings, batch)
+        assert len(plan) > 0
+        replayed = plan.replay(make_batch([3, 5, 2], seed=1))
+        expected = module.graph_embeddings(
+            make_batch([3, 5, 2], seed=1)).data
+        assert replayed.tobytes() == expected.tobytes()
+        assert out.data.shape == replayed.shape
+
+
+class TestFallback:
+    def test_uncapturable_forward_falls_back_to_eager(self, module):
+        # __getitem__ has no replay kernel, so this forward cannot be
+        # captured; the cache must tombstone the bucket and serve eagerly.
+        def head(batch):
+            return module.graph_embeddings(batch)[0:1]
+
+        cache = PlanCache(4)
+        for seed in range(3):
+            batch = make_batch([3, 5, 2], seed=seed)
+            expected = head(batch).data
+            got = cache.run(module, head, batch)
+            assert got.tobytes() == expected.tobytes()
+        assert cache.counters["capture_failures"] == 1
+        assert cache.counters["fallbacks"] == 2
+        assert cache.counters["replays"] == 0
+        assert cache.metrics()["plan.size"] == 0   # tombstones are not plans
+
+    def test_capture_raises_with_eager_output_attached(self, module):
+        batch = make_batch([3, 5, 2])
+        with pytest.raises(PlanCaptureError) as excinfo:
+            capture(module, lambda b: module.graph_embeddings(b)[0:1], batch)
+        assert "no replay kernel" in str(excinfo.value)
+        out = excinfo.value.args[1]
+        assert isinstance(out, Tensor)
+
+    def test_request_dependent_constant_fails_capture(self, module):
+        # A tensor materialized from the batch without identity linkage is
+        # neither input, param, slot, nor scalar: capture must refuse to
+        # bake it in rather than replay stale request data.
+        def leaky(batch):
+            stale = Tensor(np.array(batch.x.sum(axis=0)[:3], copy=True))
+            return module.graph_embeddings(batch) + stale
+
+        with pytest.raises(PlanCaptureError, match="neither"):
+            capture(module, leaky, make_batch([3, 5, 2]))
+
+
+class TestCachePolicy:
+    def test_lru_eviction(self, module):
+        cache = PlanCache(1)
+        a, b = [3, 5, 2], [4, 4]
+        for _ in range(2):
+            cache.run(module, module.graph_embeddings, make_batch(a))
+            cache.run(module, module.graph_embeddings, make_batch(b))
+        assert cache.counters["evictions"] >= 2
+        assert cache.counters["captures"] >= 3   # re-captured after evict
+        assert cache.metrics()["plan.size"] <= 1
+
+    def test_zero_capacity_disables(self, module):
+        cache = PlanCache(0)
+        assert not cache.enabled
+        batch = make_batch([3, 5, 2])
+        expected = module.graph_embeddings(batch).data
+        got = cache.run(module, module.graph_embeddings, batch)
+        assert got.tobytes() == expected.tobytes()
+        assert all(v == 0 for v in cache.counters.values())
+
+    def test_capacity_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "7")
+        assert PlanCache().capacity == 7
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        assert not PlanCache().enabled
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "not-a-number")
+        assert PlanCache().capacity == DEFAULT_PLAN_CACHE_CAPACITY
+        monkeypatch.delenv("REPRO_PLAN_CACHE")
+        assert PlanCache().capacity == DEFAULT_PLAN_CACHE_CAPACITY
+        assert PlanCache(5).capacity == 5   # explicit beats environment
+
+    def test_metrics_are_plan_prefixed(self, module):
+        cache = PlanCache(4)
+        cache.run(module, module.graph_embeddings, make_batch([3, 5, 2]))
+        metrics = cache.metrics()
+        assert metrics["plan.captures"] == 1
+        assert metrics["plan.size"] == 1
+        assert metrics["plan.capacity"] == 4
+        assert all(key.startswith("plan.") for key in metrics)
+
+    def test_plan_cache_for_is_per_module(self):
+        first = TinyEncoder(np.random.default_rng(0))
+        second = TinyEncoder(np.random.default_rng(0))
+        assert plan_cache_for(first) is plan_cache_for(first)
+        assert plan_cache_for(first) is not plan_cache_for(second)
