@@ -6,7 +6,7 @@
 
 .PHONY: install test test-fast test-all ci lint bench bench-small \
         bench-tensor bench-pipeline bench-eval bench-serve check-perf \
-        serve-smoke examples clean
+        serve-smoke chaos examples clean
 
 PYTEST = PYTHONPATH=src python -m pytest
 
@@ -25,13 +25,19 @@ test-fast:
 test-all:
 	$(PYTEST) -q
 
-# Full tiered gate: static, fast tests, telemetry smoke, perf, serving.
+# Full tiered gate: static, fast tests, telemetry smoke, perf, serving,
+# chaos.
 ci:
 	python scripts/ci.py
 
 # CI tier (e) alone: checkpoint -> offline embed -> concurrent HTTP load.
 serve-smoke:
 	python scripts/ci.py --tiers e
+
+# CI tier (f) alone: seeded fault injection across pipeline, training,
+# and serving (see docs/robustness.md).
+chaos:
+	python scripts/ci.py --tiers f
 
 lint:
 	python scripts/lint_repro.py

@@ -33,6 +33,14 @@ Tiers run in order and the gate stops at the first failure:
   must drive ``plan.replays > 0`` with rows byte-identical to a
   plan-disabled eager encoder (the captured-plan executor is live and
   invisible).
+* **f — chaos**: the fault-tolerance gate (see ``docs/robustness.md``).
+  A seeded :class:`repro.faults.FaultPlan` kills a pool worker mid-epoch
+  (views must stay bit-identical to serial), crashes a training run at
+  epoch 2 (``--retries`` must auto-resume to a canonically identical
+  journal), and injects slow/drop faults into the serving forward while
+  concurrent clients — one of them malformed — hammer ``/embed``: every
+  request must come back 200/400/429/504 within a bounded wall-clock,
+  never hang.
 
 Usage::
 
@@ -397,19 +405,246 @@ def tier_e_serving() -> int:
         return _preserve(tmp, _serving_load_check(run_dir, offline_npz))
 
 
+CHAOS_RUN_ARGS = ["run", "--method", "GraphCL", "--dataset", "MUTAG",
+                  "--scale", "tiny", "--seed", "0", "--weight", "0.5",
+                  "--epochs", "4", "--checkpoint-every", "1"]
+
+#: Seeded fault plan for the training drill: the 3rd epoch start raises
+#: once, so a checkpoint (epochs 0-1) already exists when the run dies.
+CHAOS_TRAIN_PLAN = {
+    "seed": 0,
+    "rules": [{"point": "train.epoch", "kind": "raise", "at": 3}],
+}
+
+#: Serving chaos load shape.
+CHAOS_REQUESTS = 24
+CHAOS_CLIENTS = 6
+#: Per-request ceiling (seconds): generous against CI jitter, tiny
+#: against a hang — a lost waiter used to block forever.
+CHAOS_HANG_S = 30.0
+
+
+def _chaos_train_drill(tmp: str) -> int:
+    """``repro run`` under a seeded fault plan with ``--retries``.
+
+    The chaos run dies at the start of epoch 2 (checkpoint already on
+    disk), auto-resumes, and must finish with a canonical journal
+    identical to the fault-free reference — crash recovery is invisible
+    in the record.
+    """
+    import json
+
+    reference_dir = str(Path(tmp) / "train-reference")
+    status = _run([sys.executable, "-m", "repro.cli", *CHAOS_RUN_ARGS,
+                   "--run-dir", reference_dir])
+    if status:
+        return status
+    plan_path = Path(tmp) / "train-plan.json"
+    plan_path.write_text(json.dumps(CHAOS_TRAIN_PLAN))
+    chaos_dir = str(Path(tmp) / "train-chaos")
+    status = _run([sys.executable, "-m", "repro.cli", *CHAOS_RUN_ARGS,
+                   "--run-dir", chaos_dir, "--fault-plan", str(plan_path),
+                   "--retries", "2"])
+    if status:
+        print("  chaos train drill failed: run did not survive the "
+              "injected fault despite --retries")
+        return status
+    reference = _canonical_events(reference_dir)
+    chaos = _canonical_events(chaos_dir)
+    if reference != chaos:
+        diffs = sum(a != b for a, b in zip(reference, chaos))
+        diffs += abs(len(reference) - len(chaos))
+        print(f"  chaos train drill failed: {diffs} canonical journal "
+              "event(s) differ between the fault-free run and the "
+              "faulted+resumed run")
+        for a, b in zip(reference, chaos):
+            if a != b:
+                print(f"    reference: {a}\n    chaos:     {b}")
+                break
+        return 1
+    print(f"  chaos train ok: {len(reference)} canonical events identical "
+          "after injected crash + auto-resume")
+    return 0
+
+
+def _chaos_pipeline_check() -> int:
+    """Kill a pool worker mid-epoch; views must stay bit-identical.
+
+    A ``kill`` rule at ``pipeline.chunk`` fires only inside forked
+    children (``os._exit``), so the parent replays the lost chunks; the
+    assembled views at workers 1 and 2 must equal the serial output byte
+    for byte.
+    """
+    sys.path.insert(0, str(SRC))
+    from repro.datasets import load_tu_dataset
+    from repro.faults import FaultPlan, use_fault_plan
+    from repro.graph import GraphBatch
+    from repro.methods.graphcl import default_augmentation
+    from repro.pipeline import ViewGenerator
+
+    def fingerprint(pair):
+        return [(g.num_nodes, g.edges.tobytes(), g.x.tobytes())
+                for view in (pair.view1, pair.view2) for g in view.graphs]
+
+    graphs = load_tu_dataset("MUTAG", scale="tiny", seed=0).graphs[:12]
+    batch = GraphBatch(list(graphs))
+    serial = ViewGenerator(default_augmentation(), root=123, workers=0)
+    reference = fingerprint(serial.generate(batch))
+    failures = 0
+    for workers in (1, 2):
+        plan = FaultPlan([{"point": "pipeline.chunk", "kind": "kill",
+                           "at": 2}], seed=0)
+        gen = ViewGenerator(default_augmentation(), root=123,
+                            workers=workers, chunk_size=3, recover_s=5.0)
+        try:
+            with use_fault_plan(plan):
+                pair = gen.submit(batch).result()
+        finally:
+            gen.shutdown()
+        if fingerprint(pair) != reference:
+            print("  chaos pipeline check failed: views differ from the "
+                  f"serial reference after a worker kill at workers="
+                  f"{workers}")
+            failures += 1
+    if not failures:
+        print("  chaos pipeline ok: views bit-identical to serial after "
+              "worker kill + parent replay at workers 1 and 2")
+    return failures
+
+
+def _chaos_serving_drill(run_dir: str) -> int:
+    """Bounded-latency degradation under injected serving faults.
+
+    With slow and drop faults active at ``serve.forward`` and a tight
+    per-request deadline, every request — including a malformed one —
+    must come back as 200/400/429/504 within :data:`CHAOS_HANG_S`;
+    a hang (the pre-fix close/submit deadlock mode) fails the tier.
+    """
+    sys.path.insert(0, str(SRC))
+    import json
+    import socket
+    import threading
+    import urllib.error
+    from concurrent.futures import ThreadPoolExecutor
+    from urllib.request import Request, urlopen
+
+    from repro.datasets import load_tu_dataset
+    from repro.faults import FaultPlan, use_fault_plan
+    from repro.serve import (EmbeddingService, FrozenEncoder, make_server,
+                             payload_from_graph)
+
+    encoder = FrozenEncoder.from_checkpoint(run_dir)
+    config = encoder.config
+    graphs = load_tu_dataset(config.dataset, scale=config.scale,
+                             seed=config.seed).graphs
+    plan = FaultPlan([
+        {"point": "serve.forward", "kind": "slow", "at": 2, "every": 5,
+         "times": 3, "delay_s": 0.6},
+        {"point": "serve.forward", "kind": "drop", "at": 4, "every": 7,
+         "times": 2},
+    ], seed=0)
+    failures = []
+    with use_fault_plan(plan):
+        service = EmbeddingService(encoder, max_batch_size=4,
+                                   max_wait_ms=5.0, queue_size=8,
+                                   deadline_ms=2_000.0,
+                                   forward_timeout_ms=300.0)
+        server = make_server(service, port=0)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            malformed = payload_from_graph(graphs[0])
+            malformed["edges"] = [[-1, 1]]
+
+            def hit(i: int):
+                if i % 8 == 5:
+                    body = {"graphs": [malformed]}
+                else:
+                    body = {"graphs":
+                            [payload_from_graph(graphs[i % len(graphs)])]}
+                request = Request(f"http://{host}:{port}/embed",
+                                  data=json.dumps(body).encode(),
+                                  headers={"Content-Type":
+                                           "application/json"})
+                started = time.perf_counter()
+                try:
+                    with urlopen(request, timeout=CHAOS_HANG_S) as resp:
+                        resp.read()
+                        status = resp.status
+                except urllib.error.HTTPError as exc:
+                    exc.read()
+                    status = exc.code
+                except (TimeoutError, socket.timeout):
+                    status = None        # a hang: the one forbidden outcome
+                return i, status, time.perf_counter() - started
+
+            with ThreadPoolExecutor(max_workers=CHAOS_CLIENTS) as pool:
+                results = list(pool.map(hit, range(CHAOS_REQUESTS)))
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+    hung = [i for i, status, _ in results if status is None]
+    if hung:
+        failures.append(f"requests {hung} hung past {CHAOS_HANG_S}s")
+    bad = sorted({status for _, status, _ in results
+                  if status is not None
+                  and status not in (200, 400, 429, 504)})
+    if bad:
+        failures.append("unexpected status codes under chaos: "
+                        f"{bad} (allowed: 200/400/429/504)")
+    statuses = [status for _, status, _ in results]
+    if 200 not in statuses:
+        failures.append("no request succeeded under chaos")
+    if 400 not in statuses:
+        failures.append("malformed request was not rejected with 400")
+    snapshot = service.metrics_snapshot()
+    if not snapshot.get("faults.injected"):
+        failures.append("fault plan never fired (faults.injected == 0)")
+    slowest = max(elapsed for _, _, elapsed in results)
+    for failure in failures:
+        print(f"  chaos serving check failed: {failure}")
+    if not failures:
+        from collections import Counter
+
+        print("  chaos serving ok: "
+              f"{dict(sorted(Counter(statuses).items()))} over "
+              f"{CHAOS_REQUESTS} requests, slowest {slowest:.2f}s, "
+              f"{snapshot.get('faults.injected', 0)} fault(s) injected, "
+              f"{snapshot.get('faults.timeouts', 0)} deadline "
+              "timeout(s) — zero hangs")
+    return len(failures)
+
+
+def tier_f_chaos() -> int:
+    """Chaos gate: seeded faults, bounded degradation, bit-identity."""
+    status = _chaos_pipeline_check()
+    if status:
+        return status
+    with tempfile.TemporaryDirectory(prefix="repro-ci-chaos-") as tmp:
+        status = _chaos_train_drill(tmp)
+        if status:
+            return _preserve(tmp, status)
+        # The fault-free reference run doubles as the serving checkpoint.
+        reference_dir = str(Path(tmp) / "train-reference")
+        return _preserve(tmp, _chaos_serving_drill(reference_dir))
+
+
 TIERS = {
     "a": ("static checks (compileall + lint_repro)", tier_a_static),
     "b": ("tier-1 tests (-m 'not slow')", tier_b_tests),
     "c": ("telemetry smoke train + journal schema", tier_c_smoke),
     "d": ("perf gate vs BENCH_tensor.json (--strict)", tier_d_perf),
     "e": ("serving smoke (concurrent /embed vs offline)", tier_e_serving),
+    "f": ("chaos gate (seeded faults: bounded degradation + "
+          "bit-identical recovery)", tier_f_chaos),
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tiers", default="abcde",
-                        help="which tiers to run, in order (default: abcde)")
+    parser.add_argument("--tiers", default="abcdef",
+                        help="which tiers to run, in order (default: abcdef)")
     parser.add_argument("--skip", default="",
                         help="tiers to drop from the selection")
     parser.add_argument("--artifact-dir", default=None,

@@ -39,6 +39,12 @@ deterministic:
    (PR 9); an ``if use_fused():`` at a call site reintroduces the
    scattered dual-implementation dispatch the registry replaced.
    Reading the value (telemetry) is fine; branching on it is not.
+8. **No bare ``time.monotonic()`` outside ``faults/``** — deadline and
+   timeout arithmetic lives in one audited place,
+   :class:`repro.faults.Deadline`.  Hand-rolled ``monotonic()`` math at
+   call sites is how the batcher's close/submit hang slipped in: each
+   site reinvents expiry, clamping, and the never-expires case.  Build a
+   ``Deadline`` and ask it for ``remaining()`` instead.
 
 Exit status is the number of violations (0 = clean).  Run from the repo
 root::
@@ -66,11 +72,14 @@ NP_RANDOM_ALLOWED = {LIBRARY / "utils" / "seed.py",
 # The registry is the single place allowed to enumerate methods by name.
 METHOD_LIST_ALLOWED = {LIBRARY / "run" / "registry.py"}
 
-# Subsystems allowed to sleep (batching windows) or start threads (audited
-# worker pools); everything else in the library must stay single-threaded
-# and non-blocking.
-SLEEP_ALLOWED_DIRS = (LIBRARY / "serve",)
+# Subsystems allowed to sleep (batching windows, injected slow faults,
+# retry backoff) or start threads (audited worker pools); everything else
+# in the library must stay single-threaded and non-blocking.
+SLEEP_ALLOWED_DIRS = (LIBRARY / "serve", LIBRARY / "faults")
 THREAD_ALLOWED_DIRS = (LIBRARY / "serve", LIBRARY / "pipeline")
+
+# All monotonic-clock arithmetic flows through repro.faults.Deadline.
+MONOTONIC_ALLOWED_DIRS = (LIBRARY / "faults",)
 
 # The registry owns kernel dispatch; nothing else may branch on the switch.
 USE_FUSED_BRANCH_ALLOWED = {LIBRARY / "tensor" / "registry.py"}
@@ -98,6 +107,16 @@ def _is_thread_constructor(node: ast.Call) -> bool:
             and func.value.id == "threading"):
         return True
     return isinstance(func, ast.Name) and func.id == "Thread"
+
+
+def _is_monotonic_call(node: ast.Call) -> bool:
+    """Match ``time.monotonic(...)`` / bare ``monotonic(...)``."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "monotonic"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"):
+        return True
+    return isinstance(func, ast.Name) and func.id == "monotonic"
 
 #: Every name registered via ``@register_method`` — a literal list/tuple/
 #: set containing two or more of these outside the registry is a stale-
@@ -208,6 +227,15 @@ def check_file(path: Path) -> list[str]:
                 "repro.serve / repro.pipeline — threads belong to the "
                 "audited worker pools; ad-hoc threads bypass the "
                 "determinism contract")
+        if (LIBRARY in path.parents
+                and not _under(path, MONOTONIC_ALLOWED_DIRS)
+                and isinstance(node, ast.Call)
+                and _is_monotonic_call(node)):
+            problems.append(
+                f"{rel}:{node.lineno}: time.monotonic() outside "
+                "repro.faults — deadline arithmetic belongs to "
+                "repro.faults.Deadline (after/after_ms/remaining), the "
+                "single audited source of timeout truth")
         if (LIBRARY in path.parents
                 and path not in USE_FUSED_BRANCH_ALLOWED
                 and isinstance(node, (ast.If, ast.IfExp, ast.While))

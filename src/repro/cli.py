@@ -121,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--stop-after", type=int, default=None,
                     help="simulate an interruption after N epochs "
                          "(for resume drills)")
+    rn.add_argument("--retries", type=int, default=None,
+                    help="auto-resume from the last checkpoint up to N "
+                         "times when a recoverable fault (worker crash, "
+                         "IO error, injected fault) interrupts training "
+                         "(requires --run-dir)")
+    rn.add_argument("--fault-plan", default=None, metavar="PLAN_JSON",
+                    help="activate a deterministic fault-injection plan "
+                         "for this run (chaos drills; see "
+                         "docs/robustness.md)")
     rn.add_argument("--save", default=None,
                     help="path to save the trained encoder (.npz)")
     _add_cache_arguments(rn)
@@ -219,6 +228,15 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--queue-size", type=int, default=128,
                     help="bounded request queue; beyond it requests shed "
                          "with HTTP 429 instead of queueing latency")
+    sv.add_argument("--deadline-ms", type=float, default=None,
+                    help="default per-request deadline; a request that "
+                         "misses it gets HTTP 504 instead of waiting "
+                         "(default: REPRO_DEADLINE_MS or 30000)")
+    sv.add_argument("--forward-timeout-ms", type=float, default=None,
+                    help="watchdog threshold for a hung forward: past it "
+                         "the batch is tombstoned and a fresh worker "
+                         "takes over (default: REPRO_FORWARD_TIMEOUT_MS "
+                         "or the deadline)")
     sv.add_argument("--cache-entries", type=int, default=None,
                     help="embedding LRU bound (0 disables the cache; "
                          "default: REPRO_EMBED_CACHE or 4096)")
@@ -229,8 +247,18 @@ def build_parser() -> argparse.ArgumentParser:
     em = sub.add_parser("embed",
                         help="bulk-embed a dataset with a checkpointed "
                              "encoder into an .npz file")
-    em.add_argument("--run-dir", required=True,
-                    help="run directory holding config.json + checkpoint")
+    em.add_argument("--run-dir", default=None,
+                    help="run directory holding config.json + checkpoint "
+                         "(required unless --remote)")
+    em.add_argument("--remote", default=None, metavar="URL",
+                    help="embed through a live repro serve endpoint "
+                         "instead of a local checkpoint; requests retry "
+                         "with exponential backoff on 429/504")
+    em.add_argument("--retries", type=int, default=4,
+                    help="max retries per request with --remote")
+    em.add_argument("--deadline-ms", type=float, default=None,
+                    help="per-request deadline_ms forwarded to the "
+                         "server with --remote")
     em.add_argument("--out", required=True,
                     help="output .npz path (embeddings + labels + "
                          "provenance)")
@@ -321,21 +349,27 @@ def _cmd_run(args) -> int:
         print_table("Registered methods",
                     ["Method", "Level", "Class", "Summary"], rows)
         return 0
-    if args.resume is not None:
-        return _print_run_result(
-            resume_run(args.resume, stop_after=args.stop_after))
-    overrides = {field: getattr(args, flag)
-                 for flag, field in _RUN_CONFIG_FLAGS.items()
-                 if getattr(args, flag) is not None}
-    if args.no_cache:
-        overrides["cache"] = False
-    if args.config is not None:
-        config = dataclasses.replace(RunConfig.from_file(args.config),
-                                     **overrides)
-    else:
-        config = RunConfig(**overrides)
-    return _print_run_result(execute_run(config,
-                                         stop_after=args.stop_after))
+    from repro.faults import FaultPlan, use_fault_plan
+
+    plan = (FaultPlan.from_file(args.fault_plan)
+            if args.fault_plan is not None else None)
+    with use_fault_plan(plan):
+        if args.resume is not None:
+            return _print_run_result(
+                resume_run(args.resume, stop_after=args.stop_after))
+        overrides = {field: getattr(args, flag)
+                     for flag, field in _RUN_CONFIG_FLAGS.items()
+                     if getattr(args, flag) is not None}
+        if args.no_cache:
+            overrides["cache"] = False
+        if args.config is not None:
+            config = dataclasses.replace(RunConfig.from_file(args.config),
+                                         **overrides)
+        else:
+            config = RunConfig(**overrides)
+        return _print_run_result(execute_run(config,
+                                             stop_after=args.stop_after,
+                                             retries=args.retries or 0))
 
 
 def _cmd_datasets(args) -> int:
@@ -474,7 +508,12 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import EmbeddingService, FrozenEncoder, make_server
+    from repro.serve import (
+        EmbeddingService,
+        FrozenEncoder,
+        install_drain_handler,
+        make_server,
+    )
 
     encoder = FrozenEncoder.from_checkpoint(args.run_dir, dtype=args.dtype,
                                             plan_cache=args.plan_cache)
@@ -482,14 +521,17 @@ def _cmd_serve(args) -> int:
                                max_batch_size=args.max_batch_size,
                                max_wait_ms=args.max_wait_ms,
                                queue_size=args.queue_size,
+                               deadline_ms=args.deadline_ms,
+                               forward_timeout_ms=args.forward_timeout_ms,
                                cache_entries=args.cache_entries)
     server = make_server(service, host=args.host, port=args.port)
+    install_drain_handler(server)
     host, port = server.server_address[:2]
     info = encoder.describe()
     print(f"serving {info['method']}(a={info['gradgcl_weight']}) "
           f"[{info['dataset']}, {info['embedding_dim']}-d {info['dtype']}] "
           f"on http://{host}:{port}  (POST /embed, GET /healthz /metrics; "
-          "Ctrl-C to stop)")
+          "Ctrl-C to stop, SIGTERM to drain)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -515,6 +557,27 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_embed(args) -> int:
+    if args.remote is not None:
+        from repro.faults import RetryPolicy
+        from repro.serve import ServingClient, embed_remote
+
+        client = ServingClient(args.remote,
+                               policy=RetryPolicy(retries=args.retries),
+                               deadline_ms=args.deadline_ms)
+        summary = embed_remote(args.remote, args.out,
+                               dataset=args.dataset, scale=args.scale,
+                               seed=args.seed, batch_size=args.batch_size,
+                               client=client)
+        print(f"embedded {summary['num_graphs']} {summary['dataset']} "
+              f"graphs ({summary['scale']}, seed {summary['seed']}) via "
+              f"{args.remote} into {summary['dim']}-d {summary['dtype']} "
+              f"rows -> {summary['out']} [config {summary['config_hash']}; "
+              f"{summary['attempts']} request(s), "
+              f"{summary['retries']} retried]")
+        return 0
+    if args.run_dir is None:
+        raise SystemExit("repro embed: --run-dir is required "
+                         "(or use --remote URL)")
     from repro.serve import embed_dataset
 
     summary = embed_dataset(args.run_dir, args.out, dataset=args.dataset,

@@ -48,7 +48,8 @@ class Graph:
             raise ValueError(
                 f"feature rows ({self.x.shape[0]}) != num_nodes "
                 f"({self.num_nodes})")
-        if self.edges.size and self.edges.max() >= self.num_nodes:
+        if self.edges.size and (self.edges.min() < 0
+                                or self.edges.max() >= self.num_nodes):
             raise ValueError("edge endpoint out of range")
         if self.edges.size and (self.edges[:, 0] == self.edges[:, 1]).any():
             raise ValueError("self loops are not allowed in the edge list")

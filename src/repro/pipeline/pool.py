@@ -19,12 +19,20 @@ Large shared state (an embedding matrix, say) should ride in ``context``
 rather than inside every item: it is published to a module global
 *before* the pool forks, so children inherit it through copy-on-write
 memory instead of per-task pickling.
+
+Crash recovery mirrors :class:`~repro.pipeline.workers.ViewGenerator`:
+each item has its own async handle with a bounded wait
+(``REPRO_POOL_RECOVER_S``); an item whose worker died is recomputed in
+the parent — bit-identical by the purity contract above — and counted
+into ``faults.respawns``.  A dead worker costs latency, never results.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 
+from ..faults import default_pool_recover_s
+from ..faults import record as _record_fault
 from .workers import resolve_workers
 
 __all__ = ["fork_map", "map_context"]
@@ -43,17 +51,22 @@ def map_context():
     return _CONTEXT
 
 
-def fork_map(fn, items, *, workers: int | None = None, context=None) -> list:
+def fork_map(fn, items, *, workers: int | None = None, context=None,
+             recover_s: float | None = None) -> list:
     """Apply ``fn`` to every item, optionally across a fork pool.
 
     Returns results in item order.  ``workers=None`` defers to
     ``REPRO_WORKERS`` (see :func:`repro.pipeline.workers.resolve_workers`);
     ``0``, a single item, or a fork-less platform all take the serial
-    path, which calls ``fn`` directly in-process.
+    path, which calls ``fn`` directly in-process.  An item whose worker
+    crashes (its result misses ``recover_s``, default
+    ``REPRO_POOL_RECOVER_S``) is recomputed in the parent.
     """
     global _CONTEXT
     items = list(items)
     workers = resolve_workers(workers)
+    if recover_s is None:
+        recover_s = default_pool_recover_s()
     _CONTEXT = context
     try:
         if workers > 0 and len(items) > 1:
@@ -63,7 +76,18 @@ def fork_map(fn, items, *, workers: int | None = None, context=None) -> list:
                 ctx = None
             if ctx is not None:
                 with ctx.Pool(min(workers, len(items))) as pool:
-                    return pool.map(fn, items, chunksize=1)
+                    handles = [pool.apply_async(fn, (item,))
+                               for item in items]
+                    results = []
+                    for handle, item in zip(handles, items):
+                        try:
+                            results.append(handle.get(timeout=recover_s))
+                        except multiprocessing.TimeoutError:
+                            # Worker died holding this item; replay it
+                            # in-process (pure fn -> identical result).
+                            _record_fault("respawns")
+                            results.append(fn(item))
+                    return results
         return [fn(item) for item in items]
     finally:
         _CONTEXT = None

@@ -37,7 +37,20 @@ class PrefetchLoader:
         self.min_graphs = min_graphs
 
     def __len__(self) -> int:
-        return len(self.loader)
+        """Batches that will actually be *yielded* — iteration skips
+        batches below ``min_graphs``, so the raw loader length would
+        overcount whenever a small tail batch exists (wrong progress
+        totals and per-epoch averages)."""
+        loader = self.loader
+        graphs = getattr(loader, "graphs", None)
+        batch_size = getattr(loader, "batch_size", None)
+        if graphs is None or batch_size is None:
+            return len(loader)
+        full, tail = divmod(len(graphs), batch_size)
+        count = full if batch_size >= self.min_graphs else 0
+        if tail and not getattr(loader, "drop_last", False):
+            count += 1 if tail >= self.min_graphs else 0
+        return count
 
     def __iter__(self) -> Iterator[GraphBatch]:
         pending = None

@@ -16,6 +16,17 @@ carries the per-view choices and re-applies them on the parent's
 augmentation objects at *consumption* time (``apply_choices``), which keeps
 JOAO's post-loss read of ``last_choice`` identical to the serial order even
 when prefetching has already generated the next batch's views.
+
+**Crash recovery** (see ``docs/robustness.md``): a pool worker that dies
+mid-chunk (OOM-killed, segfaulted, or chaos-injected via the
+``pipeline.chunk`` fault point) loses its in-flight results — the pool
+auto-respawns the process, but the lost chunks would block ``result()``
+forever.  Every chunk therefore rides its own ``apply_async`` handle with
+a bounded wait (``REPRO_POOL_RECOVER_S``); a chunk that misses it is
+recomputed in the parent from the same SeedSequence-derived keys, which by
+the determinism contract yields bit-identical views.  Crashes cost
+latency, never correctness, and each replay counts into
+``faults.respawns``.
 """
 
 from __future__ import annotations
@@ -25,10 +36,17 @@ import os
 
 import numpy as np
 
+from ..faults import default_pool_recover_s
+from ..faults import inject as _inject
+from ..faults import record as _record_fault
 from ..graph.batch import GraphBatch
 from .seeding import stream_from_key, view_stream_keys
 
 __all__ = ["ViewGenerator", "ViewPair", "resolve_workers"]
+
+#: Fault-injection point for augmentation chunks (raise in any process,
+#: kill only inside forked pool workers).
+CHUNK_POINT = "pipeline.chunk"
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -49,6 +67,7 @@ def _apply_chunk(augmentation, graphs, keys):
     which for the final chunk of a view is the batch's last choice — the
     value the serial loop would have left behind.
     """
+    _inject(CHUNK_POINT)
     views = [augmentation(graph, stream_from_key(key))
              for graph, key in zip(graphs, keys)]
     return views, getattr(augmentation, "last_choice", None)
@@ -105,16 +124,36 @@ class _ReadyViews:
 
 
 class _PendingViews:
-    """In-flight pool computation; ``result()`` blocks and assembles."""
+    """In-flight pool computation; ``result()`` blocks and assembles.
 
-    __slots__ = ("_handle", "_view1_chunks")
+    Each chunk has its own async handle so a crashed worker costs exactly
+    the chunks it held: a handle that misses the recovery timeout is
+    recomputed in the parent from the same ``(augmentation, graphs,
+    keys)`` task — a pure function of its arguments — so the assembled
+    views are bit-identical to the crash-free run.
+    """
 
-    def __init__(self, handle, view1_chunks: int):
-        self._handle = handle
+    __slots__ = ("_handles", "_tasks", "_view1_chunks", "_recover_s")
+
+    def __init__(self, handles, tasks, view1_chunks: int,
+                 recover_s: float):
+        self._handles = handles
+        self._tasks = tasks
         self._view1_chunks = view1_chunks
+        self._recover_s = recover_s
+
+    def _collect(self, index: int):
+        try:
+            return self._handles[index].get(timeout=self._recover_s)
+        except multiprocessing.TimeoutError:
+            # The worker holding this chunk died (its result will never
+            # arrive; the pool has already respawned the process).
+            # Deterministic replay in the parent restores the output.
+            _record_fault("respawns")
+            return _apply_chunk(*self._tasks[index])
 
     def result(self) -> ViewPair:
-        outs = self._handle.get()
+        outs = [self._collect(i) for i in range(len(self._handles))]
         split = self._view1_chunks
         views1 = [v for chunk, _ in outs[:split] for v in chunk]
         views2 = [v for chunk, _ in outs[split:] for v in chunk]
@@ -139,18 +178,26 @@ class ViewGenerator:
     chunk_size:
         Graphs per pool task; large enough to amortize pickling, small
         enough to load-balance a 64-graph batch across workers.
+    recover_s:
+        How long ``result()`` waits on one chunk before declaring its
+        worker dead and replaying the chunk in the parent (default:
+        ``REPRO_POOL_RECOVER_S`` or 60).
     """
 
     def __init__(self, augmentation, augmentation2=None, *, root: int,
-                 workers: int | None = None, chunk_size: int = 8):
+                 workers: int | None = None, chunk_size: int = 8,
+                 recover_s: float | None = None):
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if recover_s is not None and recover_s <= 0:
+            raise ValueError(f"recover_s must be > 0, got {recover_s}")
         self.augmentation = augmentation
         self.augmentation2 = (augmentation2 if augmentation2 is not None
                               else augmentation)
         self.root = int(root)
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
+        self.recover_s = recover_s
         self.counter = 0
         self._pool = None
 
@@ -229,8 +276,10 @@ class ViewGenerator:
                 stop = start + self.chunk_size
                 tasks.append((aug, graphs[start:stop], keys[start:stop]))
         view1_chunks = len(tasks) // 2
-        return _PendingViews(pool.starmap_async(_apply_chunk, tasks),
-                             view1_chunks)
+        handles = [pool.apply_async(_apply_chunk, task) for task in tasks]
+        recover_s = (self.recover_s if self.recover_s is not None
+                     else default_pool_recover_s())
+        return _PendingViews(handles, tasks, view1_chunks, recover_s)
 
     def generate(self, batch: GraphBatch) -> ViewPair:
         """Blocking convenience wrapper around :meth:`submit`."""

@@ -141,6 +141,14 @@ class JournalCallback(Callback):
             self.journal.log("trace", spans=trainer.tracer.snapshot())
         if trainer.structure_cache is not None:
             self.journal.log("metrics", **trainer.structure_cache.stats())
+        from ..faults import counters_snapshot
+
+        fault_counters = {k: v for k, v in counters_snapshot().items() if v}
+        if fault_counters:
+            # Chaos-only telemetry rides a ``metrics`` event, which
+            # ``canonical_events`` strips — so a faulted-but-recovered run
+            # still canonically equals its fault-free twin.
+            self.journal.log("metrics", **fault_counters)
         self.journal.log("engine", **trainer.engine.snapshot())
         self.journal.log("run_end", epochs_run=trainer.epochs_run,
                          final_loss=trainer.history.final_loss,

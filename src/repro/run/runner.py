@@ -15,15 +15,23 @@ functions so that importing :mod:`repro.run` stays light.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..faults import FaultInjected
+from ..faults import record as _record_fault
 from .callbacks import StopAfter, TrainingInterrupted
 from .config import CONFIG_FILENAME, RunConfig
 from .registry import get_method
 from .state import TrainState
 
 __all__ = ["RunResult", "execute_run", "resume_run", "prepare_resume"]
+
+#: Exceptions :func:`execute_run` treats as transient when ``retries > 0``:
+#: chaos-injected faults and worker/IO failures.  Anything else (config
+#: errors, non-finite losses, interrupts) fails the run immediately.
+RECOVERABLE_FAULTS = (FaultInjected, OSError)
 
 
 @dataclass
@@ -194,19 +202,108 @@ def _evaluate(ctx: _RunContext, history) -> RunResult:
                      accuracy_std=std, journal_path=journal_path)
 
 
-def execute_run(config: RunConfig, *,
-                stop_after: int | None = None) -> RunResult:
+def execute_run(config: RunConfig, *, stop_after: int | None = None,
+                retries: int = 0) -> RunResult:
     """Run a config from scratch (the ``repro run`` entry point).
 
     When the config names a ``run_dir``, the resolved config is persisted
     there as ``config.json`` so the run can later be resumed (or simply
     reproduced) from the directory alone.
+
+    ``retries=N`` arms fault tolerance: a run that dies with a
+    :data:`RECOVERABLE_FAULTS` exception is resumed from its last
+    checkpoint up to N times (``faults.retries`` counts each attempt).
+    This requires a ``run_dir`` — checkpoints are the recovery point — and
+    forces ``checkpoint_every=1`` when the config leaves it unset, so at
+    most one epoch of work is ever lost.  The journal is truncated back to
+    the checkpoint on every resume, so the finished journal is
+    canonically identical to a fault-free run's (see
+    ``docs/robustness.md``).
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     config = config.resolve()
+    if retries:
+        if config.run_dir is None:
+            raise ValueError(
+                "retries requires run_dir: resume recovers from the "
+                "checkpoints written there")
+        if config.checkpoint_every is None:
+            config = dataclasses.replace(config, checkpoint_every=1)
     ctx = _build(config, stop_after=stop_after)
     if config.run_dir is not None:
         config.to_file(Path(config.run_dir) / CONFIG_FILENAME)
     ctx.trainer.log_config(**config.journal_fields())
+    try:
+        return _finish(ctx)
+    except RECOVERABLE_FAULTS as exc:
+        if not retries:
+            raise
+        last_error: BaseException = exc
+    for _ in range(retries):
+        _record_fault("retries")
+        try:
+            return _resume_after_fault(config.run_dir,
+                                       stop_after=stop_after)
+        except RECOVERABLE_FAULTS as exc:
+            last_error = exc
+    raise last_error
+
+
+def _truncate_journal_for_resume(run_dir: Path, start_epoch: int) -> None:
+    """Rewind the journal to match the checkpoint we are resuming from.
+
+    A fault can strike anywhere, so the journal may hold epoch events the
+    checkpoint never saw (or end-of-run events from a crash during
+    evaluation).  Keep only what the resumed run will *not* re-emit — the
+    ``config`` event and ``epoch``/``spectrum`` events from epochs
+    before ``start_epoch`` — and drop the rest; the resumed run
+    regenerates it, leaving one seamless record.
+    """
+    import json
+
+    from ..obs.journal import JOURNAL_FILENAME
+
+    path = Path(run_dir) / JOURNAL_FILENAME
+    if not path.exists():
+        return
+    kept = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            kind = event.get("event")
+            if kind == "config":
+                kept.append(line)
+            elif (kind in ("epoch", "spectrum")
+                    and event.get("epoch", start_epoch) < start_epoch):
+                kept.append(line)
+    path.write_text("".join(f"{line}\n" for line in kept))
+
+
+def _resume_after_fault(run_dir: str | Path, *,
+                        stop_after: int | None = None) -> RunResult:
+    """One recovery attempt: rewind the journal, restore, train on.
+
+    A crash before the first checkpoint restarts from scratch (minus the
+    already-journaled ``config`` event); otherwise training continues from
+    the checkpointed epoch, bit-identical to a fault-free run by the
+    resume contract.
+    """
+    run_dir = Path(run_dir)
+    config = RunConfig.from_file(run_dir / CONFIG_FILENAME)
+    config = dataclasses.replace(config, run_dir=str(run_dir))
+    try:
+        state = TrainState.load(run_dir)
+    except FileNotFoundError:
+        state = None
+    start_epoch = state.epoch if state is not None else 0
+    _truncate_journal_for_resume(run_dir, start_epoch)
+    ctx = _build(config, append_journal=True, stop_after=stop_after)
+    if state is not None:
+        state.restore(ctx.trainer)
     return _finish(ctx)
 
 

@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..faults import inject as _inject
 from ..graph import Graph, GraphLoader
 from ..nn import Adam
 from ..obs import RunJournal, Tracer, engine_stats
@@ -48,6 +49,11 @@ from .callbacks import (
 
 __all__ = ["TrainHistory", "Trainer", "GraphSteps", "NodeSteps",
            "gradient_norm", "clip_gradients"]
+
+#: Fault-injection point drilled by the chaos tier: fires at the top of
+#: every epoch, before any batch work, so a crash here never leaves a
+#: half-logged epoch behind (journal and checkpoint stay in lockstep).
+EPOCH_POINT = "train.epoch"
 
 
 def gradient_norm(parameters) -> float:
@@ -402,6 +408,7 @@ class Trainer:
             for callback in self.callbacks:
                 callback.on_train_begin(self)
             for epoch in range(self.start_epoch, self.epochs):
+                _inject(EPOCH_POINT)
                 losses: list[float] = []
                 parts_acc: list[dict[str, float]] = []
                 norms: list[float] = []

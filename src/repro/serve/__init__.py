@@ -10,7 +10,12 @@ demand.  Four layers, stdlib+numpy only:
 * :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesce concurrent
   requests into one forward under ``max_batch_size``/``max_wait_ms``,
   shedding load with :class:`ServiceOverloaded` when the bounded queue
-  fills;
+  fills, failing requests that miss their deadline with
+  :class:`ServiceTimeout`, and tombstoning hung forwards via a watchdog
+  (see ``docs/robustness.md``);
+* :mod:`repro.serve.client` — :class:`ServingClient`: the retrying HTTP
+  client (capped exponential backoff + jitter, honors ``Retry-After``)
+  behind ``repro embed --remote`` and the serving bench;
 * :mod:`repro.serve.cache` — :class:`EmbeddingCache`: LRU keyed on the
   blake2b structure+feature :func:`content_fingerprint`, so repeated
   graphs skip the forward entirely;
@@ -24,13 +29,15 @@ concurrency level, batch composition, and arrival order — enforced by
 ``tests/serve`` and CI tier e.
 """
 
-from .batcher import MicroBatcher, ServiceOverloaded
+from .batcher import MicroBatcher, ServiceOverloaded, ServiceTimeout
 from .bulk import embed_dataset
 from .cache import EmbeddingCache, content_fingerprint
+from .client import RetriesExhausted, ServingClient, embed_remote
 from .encoder import CheckpointMismatch, FrozenEncoder
 from .http import (
     EmbeddingHTTPServer,
     graph_from_payload,
+    install_drain_handler,
     make_server,
     payload_from_graph,
 )
@@ -38,9 +45,11 @@ from .service import EmbeddingService
 
 __all__ = [
     "FrozenEncoder", "CheckpointMismatch",
-    "MicroBatcher", "ServiceOverloaded",
+    "MicroBatcher", "ServiceOverloaded", "ServiceTimeout",
+    "ServingClient", "RetriesExhausted", "embed_remote",
     "EmbeddingCache", "content_fingerprint",
     "EmbeddingService", "EmbeddingHTTPServer", "make_server",
+    "install_drain_handler",
     "graph_from_payload", "payload_from_graph",
     "embed_dataset",
 ]

@@ -1,0 +1,242 @@
+"""Retrying HTTP client for the embedding service.
+
+:class:`ServingClient` is the supported way to talk to ``repro serve``
+from python: it wraps the three endpoints, maps the server's error
+contract back onto the service exceptions (429 →
+:class:`~repro.serve.ServiceOverloaded`, 504 →
+:class:`~repro.serve.ServiceTimeout`), and retries the retryable ones —
+sheds, timeouts, and connection resets — under a
+:class:`~repro.faults.RetryPolicy` (capped exponential backoff with
+deterministic jitter, honoring the server's ``Retry-After`` hint as a
+floor).  400/413 are *not* retried: a malformed payload does not get
+better with backoff.
+
+``repro embed --remote URL`` uses :func:`embed_remote` to run the bulk
+embedding path through a live server instead of a local checkpoint; the
+output ``.npz`` is byte-compatible with the offline
+:func:`~repro.serve.embed_dataset` reference, which is what lets the
+chaos CI tier diff the two.
+
+Tests inject a fake ``transport`` (and a no-op ``sleep``), so no socket
+is needed to exercise the retry ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..faults import RetryPolicy
+from .batcher import ServiceOverloaded, ServiceTimeout
+from .http import payload_from_graph
+
+__all__ = ["ServingClient", "RetriesExhausted", "embed_remote"]
+
+#: HTTP statuses worth retrying: backpressure shed and missed deadline.
+RETRYABLE_STATUSES = frozenset({429, 503, 504})
+
+
+class RetriesExhausted(RuntimeError):
+    """Every attempt failed; ``last_error`` holds the final failure."""
+
+    def __init__(self, message: str, last_error: BaseException):
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class _Response:
+    """Status + parsed JSON body + the Retry-After hint, if any."""
+
+    __slots__ = ("status", "body", "retry_after")
+
+    def __init__(self, status: int, body: dict,
+                 retry_after: float | None = None):
+        self.status = status
+        self.body = body
+        self.retry_after = retry_after
+
+
+def _urllib_transport(method: str, url: str, body: bytes | None,
+                      timeout: float) -> _Response:
+    """Default transport: stdlib urllib, errors normalized to _Response."""
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"} if body else {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = json.loads(response.read())
+            return _Response(response.status, payload)
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode(errors="replace")}
+        retry_after = exc.headers.get("Retry-After")
+        return _Response(exc.code, payload,
+                         float(retry_after) if retry_after else None)
+
+
+class ServingClient:
+    """Talk to a ``repro serve`` endpoint with bounded, jittered retries.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` (no trailing slash needed).
+    policy:
+        The :class:`~repro.faults.RetryPolicy`; the default retries 4
+        times with 0.1 s → 5 s capped exponential backoff.  Seed it for
+        reproducible retry schedules (the serving bench and tests do).
+    deadline_ms:
+        Optional per-request ``deadline_ms`` forwarded in every ``/embed``
+        body, so the server bounds its side of the wait too.
+    timeout_s:
+        Socket-level timeout per attempt (connect + read).
+    transport / sleep:
+        Injection points for tests: ``transport(method, url, body,
+        timeout) -> _Response`` and a backoff ``sleep(seconds)``.
+    """
+
+    def __init__(self, base_url: str, *,
+                 policy: RetryPolicy | None = None,
+                 deadline_ms: float | None = None,
+                 timeout_s: float = 30.0,
+                 transport: Callable[..., _Response] | None = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.deadline_ms = deadline_ms
+        self.timeout_s = float(timeout_s)
+        self._transport = (transport if transport is not None
+                          else _urllib_transport)
+        self._sleep = sleep
+        self.attempts = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def embed_graphs(self, graphs: Sequence) -> np.ndarray:
+        """Embed graphs via ``POST /embed``; rows are in request order."""
+        payload = {"graphs": [payload_from_graph(g) for g in graphs]}
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        body = self._request("POST", "/embed",
+                             json.dumps(payload).encode())
+        return np.asarray(body["embeddings"], dtype=np.float64)
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # The retry ladder
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None) -> dict:
+        url = self.base_url + path
+        last_error: BaseException | None = None
+        for attempt in range(self.policy.retries + 1):
+            if attempt > 0:
+                retry_after = (last_error.retry_after
+                               if isinstance(last_error, _RetryableStatus)
+                               else None)
+                self._sleep(self.policy.delay(attempt - 1,
+                                              retry_after=retry_after))
+                self.retries += 1
+            self.attempts += 1
+            try:
+                response = self._transport(method, url, body,
+                                           self.timeout_s)
+            except (OSError, urllib.error.URLError) as exc:
+                # Connection refused/reset or socket timeout: the server
+                # may be restarting or draining — worth another attempt.
+                last_error = exc
+                continue
+            if response.status == 200:
+                return response.body
+            error = response.body.get("error", f"HTTP {response.status}")
+            if response.status in RETRYABLE_STATUSES:
+                last_error = _RetryableStatus(response.status, error,
+                                              response.retry_after)
+                continue
+            raise RuntimeError(f"HTTP {response.status}: {error}")
+        message = (f"{method} {url} failed after "
+                   f"{self.policy.retries + 1} attempt(s): {last_error}")
+        if isinstance(last_error, _RetryableStatus):
+            if last_error.status == 504:
+                raise RetriesExhausted(message, ServiceTimeout(str(
+                    last_error)))
+            raise RetriesExhausted(message, ServiceOverloaded(str(
+                last_error)))
+        raise RetriesExhausted(message, last_error)
+
+
+class _RetryableStatus(RuntimeError):
+    """An HTTP status the client will retry (carries Retry-After)."""
+
+    def __init__(self, status: int, error: str,
+                 retry_after: float | None):
+        super().__init__(f"HTTP {status}: {error}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+def embed_remote(base_url: str, out: str | Path, *,
+                 dataset: str | None = None, scale: str | None = None,
+                 seed: int | None = None, batch_size: int = 128,
+                 client: ServingClient | None = None) -> dict:
+    """``repro embed --remote``: bulk-embed a dataset through a server.
+
+    ``dataset``/``scale``/``seed`` default to the server's own training
+    identity (from ``/healthz``), mirroring how the local path defaults
+    from the checkpoint.  The output ``.npz`` carries the same arrays and
+    provenance as :func:`~repro.serve.embed_dataset`, so the two files
+    diff byte-for-byte when the server is healthy.
+    """
+    from ..datasets import load_tu_dataset
+
+    client = client if client is not None else ServingClient(base_url)
+    info = client.health()
+    dataset = dataset if dataset is not None else info.get("dataset")
+    scale = scale if scale is not None else info.get("scale", "tiny")
+    seed = seed if seed is not None else int(info.get("seed", 0))
+    if dataset is None:
+        raise ValueError("server did not report a dataset; pass --dataset")
+    data = load_tu_dataset(dataset, scale=scale, seed=seed)
+    blocks = []
+    for start in range(0, len(data.graphs), batch_size):
+        blocks.append(client.embed_graphs(
+            data.graphs[start:start + batch_size]))
+    # JSON floats round-trip exactly, so casting back to the server's
+    # inference dtype recovers the offline npz byte-for-byte.
+    embeddings = np.concatenate(blocks, axis=0).astype(
+        str(info.get("dtype", "float32")))
+
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(out,
+             embeddings=embeddings,
+             labels=data.labels(),
+             dataset=np.array(dataset),
+             scale=np.array(scale),
+             seed=np.array(int(seed)),
+             dtype=np.array(str(info.get("dtype", "float32"))),
+             config_hash=np.array(str(info.get("config_hash") or "")))
+    saved = out if out.suffix == ".npz" else out.with_suffix(
+        out.suffix + ".npz")
+    return {"out": str(saved), "dataset": dataset, "scale": scale,
+            "seed": int(seed), "num_graphs": int(embeddings.shape[0]),
+            "dim": int(embeddings.shape[1]),
+            "dtype": str(info.get("dtype", "float32")),
+            "config_hash": str(info.get("config_hash") or ""),
+            "attempts": client.attempts, "retries": client.retries}

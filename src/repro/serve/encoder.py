@@ -197,7 +197,9 @@ class FrozenEncoder:
             info.update(method=self.config.method,
                         dataset=self.config.dataset,
                         level=self.config.level,
-                        gradgcl_weight=self.config.weight)
+                        gradgcl_weight=self.config.weight,
+                        scale=self.config.scale,
+                        seed=self.config.seed)
         return info
 
     # ------------------------------------------------------------------

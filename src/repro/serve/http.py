@@ -16,8 +16,10 @@
   derived rates (``serve.batch_coalesce_rate``, ``serve.requests_per_batch``).
 
 Error mapping: malformed payloads are 400, backpressure sheds are 429
-(with ``Retry-After``), unexpected failures are 500; every error body is
-``{"error": message}``.
+(with ``Retry-After``), missed deadlines are 504 (also retry-able), and
+unexpected failures are 500; every error body is ``{"error": message}``.
+A request may bound its own wait with a top-level ``"deadline_ms"``
+field; otherwise the service default applies (see ``docs/robustness.md``).
 
 Handler threads only parse JSON and wait on the micro-batcher — all tensor
 work happens on the batcher's single worker thread, so concurrency never
@@ -27,16 +29,18 @@ touches the engine's global dtype state.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from ..graph import Graph
-from .batcher import ServiceOverloaded
+from .batcher import ServiceOverloaded, ServiceTimeout
 from .service import EmbeddingService
 
 __all__ = ["EmbeddingHTTPServer", "graph_from_payload",
-           "payload_from_graph", "make_server"]
+           "payload_from_graph", "make_server", "install_drain_handler"]
 
 #: Cap on accepted request bodies (64 MiB): a malicious or confused client
 #: should shed here, not in the allocator.
@@ -126,10 +130,24 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(entries, list) or not entries:
                 raise ValueError('body must be {"graphs": [...]} with at '
                                  "least one graph")
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None:
+                try:
+                    deadline_ms = float(deadline_ms)
+                except (TypeError, ValueError):
+                    raise ValueError("deadline_ms must be a positive "
+                                     "number") from None
+                if deadline_ms <= 0:
+                    raise ValueError(
+                        f"deadline_ms must be > 0, got {deadline_ms}")
             graphs = [graph_from_payload(entry) for entry in entries]
-            embeddings = self.service.embed_graphs(graphs)
+            embeddings = self.service.embed_graphs(graphs,
+                                                   deadline_ms=deadline_ms)
         except ServiceOverloaded as exc:
             self._reply(429, {"error": str(exc)}, {"Retry-After": "1"})
+            return
+        except ServiceTimeout as exc:
+            self._reply(504, {"error": str(exc)}, {"Retry-After": "1"})
             return
         except (ValueError, json.JSONDecodeError) as exc:
             self._reply(400, {"error": str(exc)})
@@ -162,3 +180,21 @@ def make_server(service: EmbeddingService, host: str = "127.0.0.1",
     """Bind (but do not start) the serving endpoint; ``port=0`` picks a
     free port (``server.server_address`` reports the bound one)."""
     return EmbeddingHTTPServer((host, port), service)
+
+
+def install_drain_handler(server: EmbeddingHTTPServer,
+                          signals=(signal.SIGTERM,)) -> dict:
+    """Make SIGTERM a graceful drain instead of a hard kill.
+
+    The handler asks the server to stop accepting (``shutdown`` must run
+    off the serve_forever thread, hence the helper thread); in-flight
+    requests finish on their daemon handler threads, ``serve_forever``
+    returns, and the owner's teardown path (close the service, journal the
+    final metrics snapshot) runs exactly as on Ctrl-C.  Returns the
+    previous handlers keyed by signal, for callers that restore them.
+    """
+    def _drain(signum, frame):
+        threading.Thread(target=server.shutdown,
+                         name="repro-serve-drain", daemon=True).start()
+
+    return {sig: signal.signal(sig, _drain) for sig in signals}

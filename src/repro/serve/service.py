@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..faults import counters_snapshot as _fault_counters
 from ..obs import MetricRegistry
 from .batcher import (
     DEFAULT_MAX_BATCH_SIZE,
@@ -55,6 +56,8 @@ class EmbeddingService:
                  max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
                  max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
                  queue_size: int = DEFAULT_QUEUE_SIZE,
+                 deadline_ms: float | None = None,
+                 forward_timeout_ms: float | None = None,
                  cache_entries: int | None = None,
                  metrics: MetricRegistry | None = None):
         self.encoder = encoder
@@ -66,13 +69,16 @@ class EmbeddingService:
                                     max_batch_size=max_batch_size,
                                     max_wait_ms=max_wait_ms,
                                     queue_size=queue_size,
+                                    deadline_ms=deadline_ms,
+                                    forward_timeout_ms=forward_timeout_ms,
                                     metrics=self.metrics)
         self._started = time.time()
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def embed_graphs(self, graphs: Sequence) -> np.ndarray:
+    def embed_graphs(self, graphs: Sequence, *,
+                     deadline_ms: float | None = None) -> np.ndarray:
         """Embed a request's graphs; rows are in request order.
 
         Bit-identical to ``FrozenEncoder.embed(graphs)`` (and therefore to
@@ -100,7 +106,8 @@ class EmbeddingService:
             misses = list(range(len(graphs)))
 
         if misses:
-            fresh = self.batcher.submit([graphs[i] for i in misses])
+            fresh = self.batcher.submit([graphs[i] for i in misses],
+                                        deadline_ms=deadline_ms)
             for slot, row in zip(misses, fresh):
                 rows[slot] = row
                 if self.cache is not None:
@@ -141,6 +148,9 @@ class EmbeddingService:
         snapshot["serve.uptime_seconds"] = round(
             time.time() - self._started, 3)
         snapshot.update(self.encoder.plan_metrics())
+        # Cross-subsystem fault tally: the process-wide counters win over
+        # the registry mirrors (they also count pipeline/training faults).
+        snapshot.update(_fault_counters())
         return snapshot
 
     def log_metrics(self, journal) -> dict:

@@ -1,0 +1,159 @@
+"""FaultPlan: trigger predicates, seeded replay, activation, counters."""
+
+import time
+
+import pytest
+
+from repro.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    counters_snapshot,
+    inject,
+    record,
+    use_fault_plan,
+)
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultRule("p", "explode")
+
+    def test_bad_predicates_rejected(self):
+        with pytest.raises(ValueError, match="at"):
+            FaultRule("p", "raise", at=0)
+        with pytest.raises(ValueError, match="every"):
+            FaultRule("p", "raise", every=0)
+        with pytest.raises(ValueError, match="times"):
+            FaultRule("p", "raise", times=0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("p", "raise", probability=1.5)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultRule("p", "slow", delay_s=-0.1)
+
+
+class TestFiring:
+    def fired_calls(self, plan, point, calls):
+        return [n for n in range(1, calls + 1)
+                if plan.fire(point) is not None]
+
+    def test_at_fires_once_by_default(self):
+        plan = FaultPlan([{"point": "p", "kind": "raise", "at": 3}])
+        assert self.fired_calls(plan, "p", 6) == [3]
+
+    def test_every_with_times(self):
+        plan = FaultPlan([{"point": "p", "kind": "raise", "at": 2,
+                           "every": 3, "times": 2}])
+        assert self.fired_calls(plan, "p", 12) == [2, 5]
+
+    def test_unlimited_times(self):
+        plan = FaultPlan([{"point": "p", "kind": "raise", "at": 1,
+                           "every": 2, "times": None}])
+        assert self.fired_calls(plan, "p", 8) == [1, 3, 5, 7]
+
+    def test_points_count_independently(self):
+        plan = FaultPlan([{"point": "a", "kind": "raise", "at": 2},
+                          {"point": "b", "kind": "raise", "at": 1}])
+        assert plan.fire("a") is None
+        assert plan.fire("b") is not None
+        assert plan.fire("a") is not None
+        assert plan.calls("a") == 2 and plan.calls("b") == 1
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan([{"point": "p", "kind": "slow", "at": 1},
+                          {"point": "p", "kind": "raise", "at": 1}])
+        assert plan.fire("p").kind == "slow"
+
+    def test_per_point_firing_record(self):
+        plan = FaultPlan([{"point": "p", "kind": "drop", "at": 1,
+                           "every": 1, "times": 3}])
+        for _ in range(5):
+            plan.fire("p")
+        assert plan.counters == {"p.drop": 3}
+
+    def test_probabilistic_rules_replay_exactly(self):
+        def firings(seed):
+            plan = FaultPlan([{"point": "p", "kind": "raise", "at": 1,
+                               "every": 1, "times": None,
+                               "probability": 0.4}], seed=seed)
+            return [plan.fire("p") is not None for _ in range(64)]
+
+        assert firings(1) == firings(1)
+        assert firings(1) != firings(2)
+
+    def test_kill_is_inert_in_the_parent_process(self):
+        # A kill rule must never take down the serial path / parent: the
+        # call is counted but the rule does not fire (and certainly does
+        # not os._exit this test process).
+        plan = FaultPlan([{"point": "p", "kind": "kill", "at": 1}])
+        assert plan.fire("p") is None
+        assert plan.counters == {}
+
+    def test_round_trip_via_file(self, tmp_path):
+        plan = FaultPlan([{"point": "p", "kind": "slow", "at": 2,
+                           "every": 4, "times": 3, "delay_s": 0.2},
+                          {"point": "q", "kind": "drop",
+                           "probability": 0.5}], seed=9)
+        path = plan.to_file(tmp_path / "plan.json")
+        back = FaultPlan.from_file(path)
+        assert back.to_dict() == plan.to_dict()
+
+
+class TestInject:
+    def test_no_active_plan_is_a_noop(self):
+        assert active_plan() is None
+        assert inject("anything") is None
+
+    def test_raise_kind(self):
+        with use_fault_plan(FaultPlan([{"point": "p", "kind": "raise"}])):
+            with pytest.raises(FaultInjected, match="injected fault"):
+                inject("p")
+            assert inject("p") is None     # rule exhausted
+
+    def test_slow_kind_sleeps(self):
+        plan = FaultPlan([{"point": "p", "kind": "slow", "delay_s": 0.05}])
+        with use_fault_plan(plan):
+            started = time.perf_counter()
+            assert inject("p") == "slow"
+            assert time.perf_counter() - started >= 0.04
+
+    def test_drop_kind_returned_to_caller(self):
+        with use_fault_plan(FaultPlan([{"point": "p", "kind": "drop"}])):
+            assert inject("p") == "drop"
+
+    def test_counters_and_metrics_mirror(self):
+        from repro.obs import MetricRegistry
+
+        metrics = MetricRegistry()
+        before = counters_snapshot()["faults.injected"]
+        with use_fault_plan(FaultPlan([{"point": "p", "kind": "drop"}])):
+            inject("p", metrics)
+        after = counters_snapshot()["faults.injected"]
+        assert after == before + 1
+        assert metrics.snapshot()["faults.injected"] == 1
+
+    def test_nested_activation_restores_previous(self):
+        outer = FaultPlan()
+        with use_fault_plan(outer):
+            with use_fault_plan(FaultPlan()):
+                pass
+            assert active_plan() is outer
+        assert active_plan() is None
+
+
+class TestCounters:
+    def test_snapshot_has_all_names(self):
+        snapshot = counters_snapshot()
+        assert set(snapshot) == {"faults.injected", "faults.timeouts",
+                                 "faults.respawns", "faults.retries"}
+
+    def test_record_delta(self):
+        before = counters_snapshot()["faults.retries"]
+        record("retries", 2)
+        assert counters_snapshot()["faults.retries"] == before + 2
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault counter"):
+            record("explosions")

@@ -27,6 +27,12 @@ class TestConstruction:
         with pytest.raises(ValueError, match="out of range"):
             Graph(2, [[0, 5]], np.eye(2))
 
+    def test_rejects_negative_edge_endpoints(self):
+        # Regression: -1 silently wrapped to the last node via numpy
+        # indexing instead of being rejected like an oversized endpoint.
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [[-1, 1]], np.eye(2))
+
     def test_rejects_self_loops(self):
         with pytest.raises(ValueError, match="self loops"):
             Graph(2, [[1, 1]], np.eye(2))

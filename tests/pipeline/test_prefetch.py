@@ -95,6 +95,49 @@ class TestPrefetchLoader:
         prefetch = PrefetchLoader(loader, RecordingGenerator())
         assert len(list(prefetch)) == len(list(prefetch)) == 2
 
+    def test_len_excludes_skipped_tail(self):
+        """Regression: ``len()`` used to report the raw loader length (3
+        for 7 graphs at batch_size 3) even though the 1-graph tail is
+        skipped at iteration time — progress totals overcounted."""
+        loader = GraphLoader(make_graphs(7), batch_size=3, shuffle=False)
+        prefetch = PrefetchLoader(loader, RecordingGenerator())
+        assert len(prefetch) == 2
+
+    @pytest.mark.parametrize("count,batch_size", [
+        (10, 3), (7, 3), (8, 4), (6, 3), (5, 2), (2, 5), (1, 4),
+    ])
+    def test_len_matches_yielded_batches(self, count, batch_size):
+        loader = GraphLoader(make_graphs(count), batch_size=batch_size,
+                             shuffle=False)
+        prefetch = PrefetchLoader(loader, RecordingGenerator())
+        assert len(prefetch) == len(list(prefetch))
+
+    def test_len_counts_contrastive_tail(self):
+        # An 8-graph tail of 2 at batch_size 3 is big enough to train on.
+        loader = GraphLoader(make_graphs(8), batch_size=3, shuffle=False)
+        assert len(PrefetchLoader(loader, RecordingGenerator())) == 3
+
+    def test_len_honors_drop_last(self):
+        loader = GraphLoader(make_graphs(8), batch_size=3, shuffle=False,
+                             drop_last=True)
+        prefetch = PrefetchLoader(loader, RecordingGenerator())
+        assert len(prefetch) == len(list(prefetch)) == 2
+
+    def test_len_zero_when_batches_sub_contrastive(self):
+        loader = GraphLoader(make_graphs(3), batch_size=1, shuffle=False)
+        prefetch = PrefetchLoader(loader, RecordingGenerator())
+        assert len(prefetch) == len(list(prefetch)) == 0
+
+    def test_len_falls_back_for_opaque_loaders(self):
+        class Opaque:
+            def __len__(self):
+                return 5
+
+            def __iter__(self):
+                return iter([])
+
+        assert len(PrefetchLoader(Opaque(), RecordingGenerator())) == 5
+
     def test_real_pool_shutdown_mid_epoch(self):
         # End-to-end: a live worker pool with an in-flight batch must
         # survive a consumer exception and remain usable afterwards.

@@ -1,0 +1,73 @@
+"""execute_run(retries=N): auto-resume from checkpoints after faults."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, counters_snapshot, use_fault_plan
+from repro.obs import canonical_events
+from repro.run import RunConfig, execute_run
+from repro.run.trainer import EPOCH_POINT
+
+
+def _journal_events(run_dir):
+    with (run_dir / "events.jsonl").open() as fh:
+        return [json.loads(line) for line in fh]
+
+
+def _graph_config(run_dir, **overrides) -> RunConfig:
+    fields = dict(method="GraphCL", dataset="MUTAG", scale="tiny",
+                  weight=0.5, epochs=4, seed=0, hidden_dim=8,
+                  checkpoint_every=1, run_dir=str(run_dir))
+    fields.update(overrides)
+    return RunConfig(**fields)
+
+
+class TestRetries:
+    def test_faulted_run_recovers_bit_identically(self, tmp_path):
+        """A crash injected mid-training plus ``retries`` yields the same
+        metrics and canonical journal as the fault-free run."""
+        reference = execute_run(_graph_config(tmp_path / "reference"))
+
+        before = counters_snapshot()["faults.retries"]
+        plan = FaultPlan([{"point": EPOCH_POINT, "kind": "raise",
+                           "at": 3}])
+        with use_fault_plan(plan):
+            recovered = execute_run(_graph_config(tmp_path / "chaos"),
+                                    retries=2)
+        assert counters_snapshot()["faults.retries"] == before + 1
+
+        assert recovered.history.losses == reference.history.losses
+        assert recovered.accuracy == reference.accuracy
+        assert canonical_events(_journal_events(tmp_path / "chaos")) == \
+            canonical_events(_journal_events(tmp_path / "reference"))
+
+    def test_crash_before_first_checkpoint_restarts_fresh(self, tmp_path):
+        reference = execute_run(_graph_config(tmp_path / "reference"))
+        plan = FaultPlan([{"point": EPOCH_POINT, "kind": "raise",
+                           "at": 1}])
+        with use_fault_plan(plan):
+            recovered = execute_run(_graph_config(tmp_path / "chaos"),
+                                    retries=1)
+        assert recovered.history.losses == reference.history.losses
+        assert canonical_events(_journal_events(tmp_path / "chaos")) == \
+            canonical_events(_journal_events(tmp_path / "reference"))
+
+    def test_exhausted_retries_reraise_the_fault(self, tmp_path):
+        from repro.faults import FaultInjected
+
+        plan = FaultPlan([{"point": EPOCH_POINT, "kind": "raise",
+                           "at": 1, "every": 1, "times": None}])
+        with use_fault_plan(plan):
+            with pytest.raises(FaultInjected):
+                execute_run(_graph_config(tmp_path / "doomed"), retries=2)
+
+    def test_retries_require_run_dir(self, tmp_path):
+        config = RunConfig(method="GraphCL", dataset="MUTAG", scale="tiny",
+                           weight=0.5, epochs=4, seed=0, hidden_dim=8)
+        with pytest.raises(ValueError, match="retries requires run_dir"):
+            execute_run(config, retries=1)
+
+    def test_negative_retries_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="retries"):
+            execute_run(_graph_config(tmp_path), retries=-1)

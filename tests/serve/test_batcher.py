@@ -6,9 +6,10 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 import pytest
 
+from repro.faults import FaultPlan, use_fault_plan
 from repro.graph import Graph
 from repro.obs import MetricRegistry
-from repro.serve import MicroBatcher, ServiceOverloaded
+from repro.serve import MicroBatcher, ServiceOverloaded, ServiceTimeout
 
 
 def make_graphs(count, num_features=4, seed=0):
@@ -167,6 +168,126 @@ class TestBackpressure:
         with MicroBatcher(row_sum_forward) as batcher:
             with pytest.raises(ValueError, match="empty"):
                 batcher.submit([])
+
+
+class TestDeadlines:
+    def test_invalid_deadline_rejected(self):
+        with MicroBatcher(row_sum_forward) as batcher:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                batcher.submit(make_graphs(1), deadline_ms=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            MicroBatcher(row_sum_forward, deadline_ms=-5.0)
+
+    def test_request_expiring_in_queue_times_out(self):
+        metrics = MetricRegistry()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_forward(batch):
+            entered.set()
+            release.wait(timeout=10)
+            return row_sum_forward(batch)
+
+        graphs = make_graphs(2)
+        batcher = MicroBatcher(gated_forward, max_batch_size=1,
+                               max_wait_ms=0.0, metrics=metrics)
+        try:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                head = pool.submit(batcher.submit, [graphs[0]])
+                assert entered.wait(timeout=10)
+                # The worker is stuck inside the forward; a follower with
+                # a tiny deadline must fail in bounded time, not block.
+                with pytest.raises(ServiceTimeout, match="deadline"):
+                    batcher.submit([graphs[1]], deadline_ms=80.0)
+                release.set()
+                head.result(timeout=30)
+        finally:
+            release.set()
+            batcher.close()
+        assert metrics.snapshot()["serve.timeouts"] >= 1
+
+    def test_watchdog_tombstones_hung_forward(self):
+        metrics = MetricRegistry()
+        hang = threading.Event()
+        calls = []
+
+        def hanging_once(batch):
+            calls.append(len(batch))
+            if len(calls) == 1:
+                hang.wait(timeout=30)     # simulated wedged forward
+            return row_sum_forward(batch)
+
+        graphs = make_graphs(2)
+        batcher = MicroBatcher(hanging_once, max_wait_ms=0.0,
+                               deadline_ms=5_000.0,
+                               forward_timeout_ms=100.0, metrics=metrics)
+        try:
+            with pytest.raises(ServiceTimeout, match="tombstone"):
+                batcher.submit([graphs[0]])
+            # The replacement worker serves the next request normally.
+            assert np.array_equal(batcher.submit([graphs[1]]),
+                                  row_sum_forward([graphs[1]]))
+        finally:
+            hang.set()
+            batcher.close()
+        snapshot = metrics.snapshot()
+        assert snapshot["serve.tombstones"] == 1
+        assert snapshot["serve.timeouts"] >= 1
+
+    def test_dropped_batch_rescued_by_deadline(self):
+        metrics = MetricRegistry()
+        plan = FaultPlan([{"point": "serve.forward", "kind": "drop",
+                           "at": 1}])
+        graphs = make_graphs(2)
+        with MicroBatcher(row_sum_forward, max_wait_ms=0.0,
+                          deadline_ms=150.0, metrics=metrics) as batcher:
+            with use_fault_plan(plan):
+                with pytest.raises(ServiceTimeout):
+                    batcher.submit([graphs[0]])
+                # The drop rule is exhausted; service recovers.
+                assert np.array_equal(batcher.submit([graphs[1]]),
+                                      row_sum_forward([graphs[1]]))
+        assert metrics.snapshot()["serve.dropped_batches"] == 1
+
+
+class TestCloseSubmitRace:
+    def test_close_vs_submit_stress(self):
+        """Regression for the close/submit deadlock: a submit racing
+        close() could land its request *behind* the shutdown sentinel and
+        wait on it forever.  Race 4 submitters against close repeatedly;
+        every submit must resolve in bounded time — a correct row, a
+        clean 'closed' rejection, or a timeout — never a hang."""
+        graph = make_graphs(1)[0]
+        expected = row_sum_forward([graph])
+
+        for trial in range(30):
+            batcher = MicroBatcher(row_sum_forward, max_batch_size=4,
+                                   max_wait_ms=0.0, queue_size=16,
+                                   deadline_ms=2_000.0)
+            barrier = threading.Barrier(5)
+
+            def submit_one():
+                barrier.wait(timeout=10)
+                return batcher.submit([graph])
+
+            def close_it():
+                barrier.wait(timeout=10)
+                batcher.close()
+
+            with ThreadPoolExecutor(max_workers=5) as pool:
+                futures = [pool.submit(submit_one) for _ in range(4)]
+                closer = pool.submit(close_it)
+                closer.result(timeout=10)
+                for future in futures:
+                    try:
+                        rows = future.result(timeout=10)
+                    except RuntimeError as exc:
+                        assert ("closed" in str(exc)
+                                or isinstance(exc, (ServiceTimeout,
+                                                    ServiceOverloaded)))
+                        continue
+                    assert np.array_equal(rows, expected)
+            batcher.close()
 
 
 @pytest.mark.slow

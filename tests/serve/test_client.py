@@ -1,0 +1,137 @@
+"""ServingClient retry ladder, exercised through a scripted transport."""
+
+import json
+import urllib.error
+
+import numpy as np
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.serve import ServiceOverloaded, ServiceTimeout
+from repro.serve.client import RetriesExhausted, ServingClient, _Response
+
+from .test_batcher import make_graphs
+
+
+class FakeTransport:
+    """Replays a scripted list of responses/exceptions, recording calls."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def __call__(self, method, url, body, timeout):
+        self.calls.append((method, url, body, timeout))
+        step = self.script.pop(0)
+        if isinstance(step, BaseException):
+            raise step
+        return step
+
+
+def make_client(script, **kwargs):
+    transport = FakeTransport(script)
+    sleeps = []
+    kwargs.setdefault("policy", RetryPolicy(retries=3, base_delay=0.1,
+                                            multiplier=2.0, max_delay=5.0,
+                                            jitter=0.0))
+    client = ServingClient("http://example:8000/", transport=transport,
+                           sleep=sleeps.append, **kwargs)
+    return client, transport, sleeps
+
+
+def ok(body=None):
+    return _Response(200, body if body is not None else {"status": "ok"})
+
+
+class TestRetryLadder:
+    def test_success_needs_no_retry(self):
+        client, transport, sleeps = make_client([ok()])
+        assert client.health() == {"status": "ok"}
+        assert client.attempts == 1 and client.retries == 0
+        assert sleeps == []
+        method, url, body, timeout = transport.calls[0]
+        assert (method, url) == ("GET", "http://example:8000/healthz")
+
+    def test_429_retried_until_success(self):
+        client, transport, sleeps = make_client([
+            _Response(429, {"error": "shed"}),
+            _Response(429, {"error": "shed"}),
+            ok(),
+        ])
+        assert client.health() == {"status": "ok"}
+        assert client.attempts == 3 and client.retries == 2
+        assert sleeps == [0.1, 0.2]
+
+    def test_retry_after_floors_the_backoff(self):
+        client, _, sleeps = make_client([
+            _Response(429, {"error": "shed"}, retry_after=1.5),
+            ok(),
+        ])
+        client.health()
+        # Policy would sleep 0.1 s; the server's hint wins.
+        assert sleeps == [1.5]
+
+    def test_504_exhaustion_surfaces_service_timeout(self):
+        client, _, _ = make_client(
+            [_Response(504, {"error": "deadline"})] * 4)
+        with pytest.raises(RetriesExhausted, match="4 attempt") as excinfo:
+            client.health()
+        assert isinstance(excinfo.value.last_error, ServiceTimeout)
+        assert client.attempts == 4 and client.retries == 3
+
+    def test_429_exhaustion_surfaces_service_overloaded(self):
+        client, _, _ = make_client(
+            [_Response(429, {"error": "shed"})] * 4)
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client.health()
+        assert isinstance(excinfo.value.last_error, ServiceOverloaded)
+
+    def test_connection_errors_retried(self):
+        client, _, sleeps = make_client([
+            urllib.error.URLError("connection refused"),
+            OSError("reset"),
+            ok(),
+        ])
+        assert client.health() == {"status": "ok"}
+        assert client.attempts == 3 and len(sleeps) == 2
+
+    def test_400_fails_fast(self):
+        client, _, sleeps = make_client(
+            [_Response(400, {"error": "bad payload"})])
+        with pytest.raises(RuntimeError, match="HTTP 400: bad payload"):
+            client.health()
+        assert client.attempts == 1 and sleeps == []
+
+    def test_seeded_policies_replay_the_same_schedule(self):
+        def schedule(seed):
+            client, _, sleeps = make_client(
+                [_Response(429, {"error": "shed"})] * 3 + [ok()],
+                policy=RetryPolicy(retries=3, base_delay=0.1, jitter=0.5,
+                                   seed=seed))
+            client.health()
+            return sleeps
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+
+class TestEmbedGraphs:
+    def test_rows_decoded_and_deadline_forwarded(self):
+        graphs = make_graphs(2, seed=29)
+        rows = [[1.0, 2.0], [3.0, 4.0]]
+        client, transport, _ = make_client(
+            [ok({"embeddings": rows, "count": 2, "dim": 2})],
+            deadline_ms=250.0)
+        out = client.embed_graphs(graphs)
+        assert np.array_equal(out, np.asarray(rows))
+        method, url, body, _ = transport.calls[0]
+        assert (method, url) == ("POST", "http://example:8000/embed")
+        payload = json.loads(body)
+        assert payload["deadline_ms"] == 250.0
+        assert len(payload["graphs"]) == 2
+
+    def test_no_deadline_field_when_unset(self):
+        client, transport, _ = make_client(
+            [ok({"embeddings": [[0.0]], "count": 1, "dim": 1})])
+        client.embed_graphs(make_graphs(1, seed=31))
+        assert "deadline_ms" not in json.loads(transport.calls[0][2])

@@ -125,8 +125,81 @@ class TestEndpoints:
         assert excinfo.value.code == 400
         assert "node features" in json.loads(excinfo.value.read())["error"]
 
+    def test_negative_edge_endpoint_is_400(self, stack):
+        """Regression: a negative endpoint used to wrap around via numpy
+        fancy indexing and embed garbage with a 200; it must be rejected
+        at graph construction and surface as a 400."""
+        _, base = stack
+        bad = {"num_nodes": 2, "edges": [[-1, 1]],
+               "x": [[1.0] * 4, [2.0] * 4]}
+        request = Request(f"{base}/embed",
+                          data=json.dumps({"graphs": [bad]}).encode(),
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "out of range" in json.loads(excinfo.value.read())["error"]
+
+    @pytest.mark.parametrize("deadline_ms", ["soon", {"ms": 5}, 0, -10])
+    def test_invalid_deadline_ms_is_400(self, stack, deadline_ms):
+        _, base = stack
+        body = {"graphs": [payload_from_graph(g)
+                           for g in make_graphs(1, seed=17)],
+                "deadline_ms": deadline_ms}
+        request = Request(f"{base}/embed", data=json.dumps(body).encode(),
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "deadline_ms" in json.loads(excinfo.value.read())["error"]
+
+    def test_valid_deadline_ms_is_honored(self, stack):
+        _, base = stack
+        body = {"graphs": [payload_from_graph(g)
+                           for g in make_graphs(2, seed=19)],
+                "deadline_ms": 10_000}
+        request = Request(f"{base}/embed", data=json.dumps(body).encode(),
+                          headers={"Content-Type": "application/json"})
+        with urlopen(request, timeout=30) as response:
+            assert json.loads(response.read())["count"] == 2
+
     def test_unknown_path_is_404(self, stack):
         _, base = stack
         with pytest.raises(HTTPError) as excinfo:
             urlopen(f"{base}/nope", timeout=30)
         assert excinfo.value.code == 404
+
+
+class TestDeadlineTimeout:
+    def test_missed_deadline_is_504_with_retry_after(self):
+        """A forward slowed past the request deadline maps to 504 and
+        advertises ``Retry-After`` so clients back off instead of piling
+        on.  Dedicated stack: the slow fault would perturb the shared
+        module fixture's latency metrics."""
+        from repro.faults import FaultPlan, use_fault_plan
+
+        with autocast("float32"):
+            method = GraphCL(4, hidden_dim=8, num_layers=2,
+                             rng=np.random.default_rng(0))
+        encoder = FrozenEncoder(method, num_features=4)
+        service = EmbeddingService(encoder, max_wait_ms=1.0,
+                                   deadline_ms=100.0,
+                                   forward_timeout_ms=5_000.0)
+        server = make_server(service, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        plan = FaultPlan([{"point": "serve.forward", "kind": "slow",
+                           "at": 1, "every": 1, "times": None,
+                           "delay_s": 0.4}])
+        try:
+            with use_fault_plan(plan):
+                with pytest.raises(HTTPError) as excinfo:
+                    post_embed(f"http://{host}:{port}",
+                               make_graphs(1, seed=23))
+            assert excinfo.value.code == 504
+            assert excinfo.value.headers["Retry-After"] is not None
+            assert "error" in json.loads(excinfo.value.read())
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
